@@ -1,0 +1,31 @@
+# Convenience targets for the reproduction repository.
+
+PY ?= python
+
+.PHONY: install test test-fast bench examples report verify all
+
+install:
+	$(PY) setup.py develop
+
+test:
+	$(PY) -m pytest tests/
+
+test-fast:
+	$(PY) -m pytest tests/ -m "not slow"
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; $(PY) $$f; echo; done
+
+report:
+	$(PY) -m repro.experiments.report --scale smoke --out EXPERIMENTS.md
+
+report-paper:
+	$(PY) -m repro.experiments.report --scale paper --out EXPERIMENTS.md
+
+verify:
+	$(PY) -m repro verify
+
+all: test bench

@@ -1,0 +1,7 @@
+"""Bench E1: regenerates the E1 result table (see EXPERIMENTS.md)."""
+
+from conftest import run_experiment_bench
+
+
+def test_bench_e1(benchmark):
+    run_experiment_bench(benchmark, "E1")

@@ -1,0 +1,7 @@
+"""Bench E2: regenerates the E2 result table (see EXPERIMENTS.md)."""
+
+from conftest import run_experiment_bench
+
+
+def test_bench_e2(benchmark):
+    run_experiment_bench(benchmark, "E2")

@@ -1,0 +1,7 @@
+"""Bench E3: regenerates the E3 result table (see EXPERIMENTS.md)."""
+
+from conftest import run_experiment_bench
+
+
+def test_bench_e3(benchmark):
+    run_experiment_bench(benchmark, "E3")

@@ -1,0 +1,7 @@
+"""Bench E4: regenerates the E4 result table (see EXPERIMENTS.md)."""
+
+from conftest import run_experiment_bench
+
+
+def test_bench_e4(benchmark):
+    run_experiment_bench(benchmark, "E4")

@@ -1,0 +1,7 @@
+"""Bench E5: regenerates the E5 result table (see EXPERIMENTS.md)."""
+
+from conftest import run_experiment_bench
+
+
+def test_bench_e5(benchmark):
+    run_experiment_bench(benchmark, "E5")

@@ -1,0 +1,7 @@
+"""Bench E6: regenerates the E6 result table (see EXPERIMENTS.md)."""
+
+from conftest import run_experiment_bench
+
+
+def test_bench_e6(benchmark):
+    run_experiment_bench(benchmark, "E6")

@@ -1,0 +1,7 @@
+"""Bench E7: regenerates the E7 result table (see EXPERIMENTS.md)."""
+
+from conftest import run_experiment_bench
+
+
+def test_bench_e7(benchmark):
+    run_experiment_bench(benchmark, "E7")

@@ -1,0 +1,7 @@
+"""Bench E8: regenerates the E8 result table (see EXPERIMENTS.md)."""
+
+from conftest import run_experiment_bench
+
+
+def test_bench_e8(benchmark):
+    run_experiment_bench(benchmark, "E8")

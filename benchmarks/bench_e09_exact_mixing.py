@@ -1,0 +1,7 @@
+"""Bench E9: regenerates the E9 result table (see EXPERIMENTS.md)."""
+
+from conftest import run_experiment_bench
+
+
+def test_bench_e9(benchmark):
+    run_experiment_bench(benchmark, "E9")

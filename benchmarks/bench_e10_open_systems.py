@@ -1,0 +1,7 @@
+"""Bench E10: regenerates the E10 result table (see EXPERIMENTS.md)."""
+
+from conftest import run_experiment_bench
+
+
+def test_bench_e10(benchmark):
+    run_experiment_bench(benchmark, "E10")

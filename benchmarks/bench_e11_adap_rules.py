@@ -1,0 +1,7 @@
+"""Bench E11: regenerates the E11 result table (see EXPERIMENTS.md)."""
+
+from conftest import run_experiment_bench
+
+
+def test_bench_e11(benchmark):
+    run_experiment_bench(benchmark, "E11")

@@ -1,0 +1,7 @@
+"""Bench E12: regenerates the E12 result table (see EXPERIMENTS.md)."""
+
+from conftest import run_experiment_bench
+
+
+def test_bench_e12(benchmark):
+    run_experiment_bench(benchmark, "E12")

@@ -1,0 +1,7 @@
+"""Bench E13: regenerates the E13 result table (see EXPERIMENTS.md)."""
+
+from conftest import run_experiment_bench
+
+
+def test_bench_e13(benchmark):
+    run_experiment_bench(benchmark, "E13")

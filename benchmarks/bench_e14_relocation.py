@@ -1,0 +1,7 @@
+"""Bench E14: regenerates the E14 result table (see EXPERIMENTS.md)."""
+
+from conftest import run_experiment_bench
+
+
+def test_bench_e14(benchmark):
+    run_experiment_bench(benchmark, "E14")

@@ -1,0 +1,7 @@
+"""Bench E15: regenerates the E15 result table (see EXPERIMENTS.md)."""
+
+from conftest import run_experiment_bench
+
+
+def test_bench_e15(benchmark):
+    run_experiment_bench(benchmark, "E15")

@@ -1,0 +1,26 @@
+"""Perfect-sampling and exact-analysis benches.
+
+Monotone CFTP's cost is the certified coalescence window of the grand
+coupling — a quantity of independent interest (it upper-bounds the
+paper's recovery time pathwise).  The exact-kernel construction is the
+setup cost of every E9/E12 row.
+"""
+
+from repro.balls.rules import ABKURule
+from repro.markov.cftp import monotone_cftp_sample
+from repro.markov.exact import scenario_a_kernel
+
+
+def test_bench_monotone_cftp_n64(benchmark):
+    rule = ABKURule(2)
+    counter = iter(range(10**9))
+
+    def draw():
+        return monotone_cftp_sample(rule, 64, 64, seed=next(counter))
+
+    benchmark(draw)
+
+
+def test_bench_exact_kernel_build(benchmark):
+    rule = ABKURule(2)
+    benchmark(lambda: scenario_a_kernel(rule, 5, 10))

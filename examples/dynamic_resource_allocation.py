@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""§1.1 Dynamic Resource Allocation: n jobs on n servers, two removal models.
+
+The paper's motivating application: jobs finish and new jobs arrive
+on-line; a new job samples d = 2 servers and goes to the less loaded
+one.  Two termination models are compared:
+
+* a random *job* terminates (scenario A)  → recovery in O(n ln n);
+* a random *server* finishes one job (scenario B) → recovery in O(n² ln n).
+
+The script crashes both systems (all jobs on one server), measures the
+actual recovery times over replicas, and prints them next to the
+theory shapes — scenario A recovers orders of magnitude faster, which
+is the operational content of Theorem 1 vs Claim 5.3.
+"""
+
+import numpy as np
+
+from repro import ABKURule, LoadVector
+from repro.analysis.maxload import typical_max_load_target
+from repro.analysis.recovery_measure import recovery_times_balls
+from repro.balls.scenario_a import ScenarioAProcess
+from repro.balls.scenario_b import ScenarioBProcess
+from repro.utils.tables import Table
+
+N_SERVERS = 128
+REPLICAS = 15
+
+
+def main() -> None:
+    n = N_SERVERS
+    rule = ABKURule(2)
+
+    table = Table(
+        ["termination model", "target load", "median recovery", "q95",
+         "theory shape", "shape value"],
+        title=f"recovery of {n} jobs on {n} servers after a total crash",
+    )
+    for scenario, make, shape_name, shape_val in (
+        ("random job (A)",
+         lambda rng: ScenarioAProcess(rule, LoadVector.random(n, n, rng), seed=rng),
+         "n ln n", n * np.log(n)),
+        ("random server (B)",
+         lambda rng: ScenarioBProcess(rule, LoadVector.random(n, n, rng), seed=rng),
+         "n^2 ln n", n * n * np.log(n)),
+    ):
+        key = "a" if "(A)" in scenario else "b"
+        target = typical_max_load_target(
+            make, burn_in=10 * n, samples=20, spacing=n, replicas=2, seed=1,
+        )
+        times = recovery_times_balls(
+            rule, n, n, target, scenario=key, replicas=REPLICAS, seed=7,
+        ).astype(float)
+        table.add_row([
+            scenario, target, float(np.median(times)),
+            float(np.quantile(times, 0.95)), shape_name, shape_val,
+        ])
+    print(table.render())
+    print()
+    print("Scenario A (random job terminates) recovers ~n/ln n times faster —")
+    print("if you can choose the termination semantics of your scheduler,")
+    print("this is the difference the paper quantifies.")
+
+
+if __name__ == "__main__":
+    main()

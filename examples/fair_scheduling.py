@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""§1.1 Fair Allocations: greedy edge orientation and the carpool problem.
+
+A controller assigns each arriving job to one of the two available
+servers; fairness = nobody serves much more than their share.  Ajtai et
+al. model this as the edge orientation problem; the greedy protocol
+keeps the expected unfairness at Θ(log log n) — effectively constant —
+and by Theorem 2 the system recovers from any unfair history within
+O(n² ln² n) arrivals.
+
+The script (1) shows the unfairness staying tiny across three orders of
+magnitude of n, (2) crashes the system into a maximally unfair state
+and watches the greedy protocol repair it, and (3) runs the carpool
+formulation (who drives today?) to show it is the same process.
+"""
+
+import numpy as np
+
+from repro import CarpoolSimulator, EdgeOrientationProcess
+from repro.analysis.recovery_measure import crash_state_edge
+from repro.coupling.recovery import theorem2_bound
+from repro.utils.tables import Table
+
+
+def main() -> None:
+    # 1. Stationary unfairness barely grows with n.
+    t = Table(["n", "mean unfairness", "ln ln n"],
+              title="greedy orientation: time-averaged unfairness")
+    for n in (64, 256, 1024):
+        proc = EdgeOrientationProcess(n, lazy=False, seed=11)
+        mean = proc.mean_unfairness(steps=40 * n, burn_in=10 * n)
+        t.add_row([n, mean, float(np.log(np.log(n)))])
+    print(t.render())
+    print()
+
+    # 2. Recovery from a maximally unfair history.
+    n = 256
+    proc = EdgeOrientationProcess(crash_state_edge(n), lazy=False, seed=5)
+    print(f"crashed system at n={n}: unfairness = {proc.unfairness}")
+    steps = proc.run_until_unfairness(target=4, max_steps=10_000_000)
+    print(f"greedy repaired it to unfairness <= 4 in {steps} arrivals "
+          f"(Theorem 2 budget: ~n^2 ln^2 n = {theorem2_bound(n):.0f})")
+    print()
+
+    # 3. The carpool view: who drives today?
+    cp = CarpoolSimulator(n=12, k=2, seed=3)
+    cp.run(500)
+    debts = sorted(cp.debts, reverse=True)
+    print(f"carpool of 12 people after 500 trips: unfairness "
+          f"{float(cp.unfairness):.2f}, debts {[float(d) for d in debts[:4]]}...")
+    print("(doubled debts follow exactly the edge-orientation discrepancies)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""``python -m repro`` entry point — see :mod:`repro.cli`."""
+
+from repro.cli import main
+
+raise SystemExit(main())

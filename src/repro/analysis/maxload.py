@@ -1,0 +1,103 @@
+"""Stationary max-load and tail-profile estimation.
+
+The "typical state" the recovery theorems converge to is characterized
+by its maximum load (the paper's headline ln ln n / ln d (1 + o(1)) +
+O(m/n)) and more finely by the tail profile s_i = fraction of bins with
+load ≥ i, which the fluid substrate predicts.  This module estimates
+both from long simulator runs with burn-in, for E5–E7.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.balls.process import DynamicAllocationProcess
+from repro.utils.rng import SeedLike, spawn_generators
+
+__all__ = ["stationary_max_load", "empirical_tail", "typical_max_load_target"]
+
+
+def stationary_max_load(
+    make_process: Callable[[np.random.Generator], DynamicAllocationProcess],
+    *,
+    burn_in: int,
+    samples: int,
+    spacing: int,
+    replicas: int = 1,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Max-load samples from (approximately) stationary runs.
+
+    ``make_process(rng)`` builds a fresh simulator per replica; after
+    *burn_in* phases, *samples* max-load readings are taken every
+    *spacing* phases.  Returns the pooled float array of readings.
+    """
+    if burn_in < 0 or samples < 1 or spacing < 1:
+        raise ValueError("need burn_in >= 0, samples >= 1, spacing >= 1")
+    out = []
+    for rng in spawn_generators(seed, replicas):
+        proc = make_process(rng)
+        proc.run(burn_in)
+        for _ in range(samples):
+            proc.run(spacing)
+            out.append(float(proc.max_load))
+    return np.asarray(out, dtype=np.float64)
+
+
+def empirical_tail(
+    make_process: Callable[[np.random.Generator], DynamicAllocationProcess],
+    *,
+    burn_in: int,
+    samples: int,
+    spacing: int,
+    levels: int,
+    replicas: int = 1,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Average tail profile s_i (i = 0..levels) over stationary snapshots.
+
+    Directly comparable to the fluid fixed point of
+    :func:`repro.fluid.equilibrium.fixed_point` — the E6 comparison.
+    """
+    if levels < 1:
+        raise ValueError(f"levels must be >= 1, got {levels}")
+    acc = np.zeros(levels + 1)
+    count = 0
+    for rng in spawn_generators(seed, replicas):
+        proc = make_process(rng)
+        proc.run(burn_in)
+        for _ in range(samples):
+            proc.run(spacing)
+            v = proc.loads
+            for i in range(levels + 1):
+                acc[i] += float((v >= i).mean())
+            count += 1
+    return acc / count
+
+
+def typical_max_load_target(
+    make_process: Callable[[np.random.Generator], DynamicAllocationProcess],
+    *,
+    burn_in: int,
+    samples: int,
+    spacing: int,
+    slack: int = 1,
+    replicas: int = 3,
+    seed: SeedLike = None,
+) -> int:
+    """A recovery target: the empirical 95%-quantile max load + *slack*.
+
+    'Recovered' in E7 means the max load has re-entered this typical
+    band (the paper's "maximum load w + O(1)").
+    """
+    loads = stationary_max_load(
+        make_process,
+        burn_in=burn_in,
+        samples=samples,
+        spacing=spacing,
+        replicas=replicas,
+        seed=seed,
+    )
+    return int(np.quantile(loads, 0.95)) + slack

@@ -1,0 +1,101 @@
+"""Recovery-from-crash measurements (§1.1's motivating question).
+
+"How long does it take until the system recovers?"  Operationally:
+start from an adversarially bad state (all m balls in one bin; all
+positive discrepancy concentrated on one vertex), run the process, and
+record the first phase at which the critical measure (max load /
+unfairness) re-enters the typical band.  The paper's answers: O(n ln n)
+for scenario A at m = n, O(n² ln n) for scenario B, O(n² ln² n) for
+edge orientation — the E7 / E4 measurements.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Literal
+
+import numpy as np
+
+from repro.balls.load_vector import LoadVector
+from repro.balls.process import DynamicAllocationProcess
+from repro.balls.rules import SchedulingRule
+from repro.balls.scenario_a import ScenarioAProcess
+from repro.balls.scenario_b import ScenarioBProcess
+from repro.edgeorient.greedy import EdgeOrientationProcess
+from repro.utils.rng import SeedLike, spawn_generators
+
+__all__ = ["recovery_times_balls", "recovery_times_edge", "crash_state_edge"]
+
+
+def recovery_times_balls(
+    rule: SchedulingRule,
+    n: int,
+    m: int,
+    target_max_load: int,
+    *,
+    scenario: Literal["a", "b"] = "a",
+    start: LoadVector | None = None,
+    replicas: int = 20,
+    max_steps: int = 10_000_000,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Steps from the crash state until max load ≤ *target_max_load*.
+
+    Default crash state: all m balls in one bin.  Returns one time per
+    replica (−1 where the cap was hit — should not happen with sane
+    caps; the caller should treat those as failures).
+    """
+    if start is None:
+        start = LoadVector.all_in_one(m, n)
+    times = np.empty(replicas, dtype=np.int64)
+    make: Callable[..., DynamicAllocationProcess]
+    make = ScenarioAProcess if scenario == "a" else ScenarioBProcess
+    for k, rng in enumerate(spawn_generators(seed, replicas)):
+        proc = make(rule, start.copy(), seed=rng)
+        times[k] = proc.run_until(
+            lambda v: int(v[0]) <= target_max_load, max_steps
+        )
+    return times
+
+
+def crash_state_edge(n: int) -> list[int]:
+    """A worst-ish reachable crash state: maximal discrepancy spread.
+
+    Half the vertices at +⌈(n−1)/2⌉-ish levels, half negative — the
+    'staircase' state with one vertex per discrepancy level, which
+    maximizes the unfairness among states with distinct levels and is
+    reachable from 0 (pairs of extreme vertices can be driven apart one
+    edge at a time).
+    """
+    if n < 2:
+        raise ValueError("need n >= 2")
+    half = n // 2
+    d = []
+    for i in range(half):
+        d.append(half - i)
+    for i in range(n - 2 * half):
+        d.append(0)
+    for i in range(half):
+        d.append(-(i + 1))
+    # d = (half, half-1, …, 1, [0], -1, …, -half): sums to 0.
+    assert sum(d) == 0
+    return d
+
+
+def recovery_times_edge(
+    n: int,
+    target_unfairness: int,
+    *,
+    start: list[int] | None = None,
+    replicas: int = 20,
+    max_steps: int = 100_000_000,
+    lazy: bool = True,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Steps from an edge-orientation crash until unfairness ≤ target."""
+    if start is None:
+        start = crash_state_edge(n)
+    times = np.empty(replicas, dtype=np.int64)
+    for k, rng in enumerate(spawn_generators(seed, replicas)):
+        proc = EdgeOrientationProcess(list(start), lazy=lazy, seed=rng)
+        times[k] = proc.run_until_unfairness(target_unfairness, max_steps)
+    return times

@@ -1,0 +1,111 @@
+"""Scaling-shape fits: does the measured time grow like the theorem says?
+
+The reproduction cannot match the paper's constants (it proves upper
+bounds), but the *shape* is checkable: regress measured times T(x)
+against a candidate shape f(x) and report the fitted constant and R²
+of T ≈ c·f, plus a free power-law fit T ≈ a·x^b whose exponent b can
+be compared to the theorem's (1 for m·ln m up to logs, 3 for n·m² at
+m = n, 2 for n²·ln²n, …).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["ShapeFit", "PowerLawFit", "fit_shape", "fit_power_law", "shape_ratio_table"]
+
+
+@dataclass(frozen=True)
+class ShapeFit:
+    """Least-squares fit T ≈ c·f(x) in log space."""
+
+    constant: float
+    r_squared: float
+    residuals: np.ndarray
+
+    def predict(self, f_values: np.ndarray) -> np.ndarray:
+        """c·f for new shape values."""
+        return self.constant * np.asarray(f_values, dtype=np.float64)
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Least-squares fit T ≈ a·x^b in log space."""
+
+    amplitude: float
+    exponent: float
+    r_squared: float
+
+
+def _r2(y: np.ndarray, yhat: np.ndarray) -> float:
+    ss_res = float(((y - yhat) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def fit_shape(
+    xs: Sequence[float],
+    times: Sequence[float],
+    shape: Callable[[float], float],
+) -> ShapeFit:
+    """Fit T ≈ c·shape(x) by least squares on log T vs log shape.
+
+    Requires positive times and shape values.
+    """
+    x = np.asarray(xs, dtype=np.float64)
+    t = np.asarray(times, dtype=np.float64)
+    if x.shape != t.shape or x.size < 2:
+        raise ValueError("need >= 2 matching (x, time) points")
+    f = np.array([shape(float(v)) for v in x])
+    if (t <= 0).any() or (f <= 0).any():
+        raise ValueError("times and shape values must be positive")
+    log_c = float(np.mean(np.log(t) - np.log(f)))
+    c = float(np.exp(log_c))
+    yhat = np.log(c * f)
+    return ShapeFit(
+        constant=c,
+        r_squared=_r2(np.log(t), yhat),
+        residuals=np.log(t) - yhat,
+    )
+
+
+def fit_power_law(xs: Sequence[float], times: Sequence[float]) -> PowerLawFit:
+    """Fit T ≈ a·x^b by ordinary least squares in log-log space."""
+    x = np.asarray(xs, dtype=np.float64)
+    t = np.asarray(times, dtype=np.float64)
+    if x.shape != t.shape or x.size < 2:
+        raise ValueError("need >= 2 matching (x, time) points")
+    if (t <= 0).any() or (x <= 0).any():
+        raise ValueError("times and sizes must be positive")
+    lx = np.log(x)
+    lt = np.log(t)
+    b, log_a = np.polyfit(lx, lt, 1)
+    yhat = log_a + b * lx
+    return PowerLawFit(
+        amplitude=float(np.exp(log_a)),
+        exponent=float(b),
+        r_squared=_r2(lt, yhat),
+    )
+
+
+def shape_ratio_table(
+    xs: Sequence[float],
+    times: Sequence[float],
+    shape: Callable[[float], float],
+) -> np.ndarray:
+    """T(x) / shape(x) for each point — flat ⇔ the shape matches.
+
+    The experiment tables print these ratios so a reader can eyeball
+    constancy the way the paper's asymptotic statements intend.
+    """
+    x = np.asarray(xs, dtype=np.float64)
+    t = np.asarray(times, dtype=np.float64)
+    f = np.array([shape(float(v)) for v in x])
+    if (f <= 0).any():
+        raise ValueError("shape values must be positive")
+    return t / f

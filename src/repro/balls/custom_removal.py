@@ -1,0 +1,187 @@
+"""Generalized removal distributions (§7, first paragraph).
+
+The paper's conclusion notes the technique "can be also applied to
+processes in which we remove a ball according to other probability
+distributions".  This module implements that generalization: a removal
+law given by a *weight function* w(load) ≥ 0, removing from
+(normalized) bin i with probability w(v_i)/Σ_j w(v_j).  Special cases:
+
+* w(ℓ) = ℓ           → scenario A (𝒜(v));
+* w(ℓ) = 1[ℓ > 0]    → scenario B (ℬ(v));
+* w(ℓ) = ℓ^γ, γ > 1  → *pressure removal*: biased toward full bins,
+  which empirically speeds recovery (removal pressure works with the
+  rule instead of against it);
+* w(ℓ) = 1[ℓ = max]  → always unload a fullest bin (the greedy repair).
+
+The process, its exact kernel (for the E15 tables), and the quantile
+coupling used by the shared-randomness coalescence all key off the same
+weight function.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Union
+
+import numpy as np
+
+from repro.balls.load_vector import LoadVector, ominus, oplus
+from repro.balls.process import DynamicAllocationProcess
+from repro.balls.rules import SchedulingRule
+from repro.markov.chain import FiniteMarkovChain
+from repro.utils.partitions import all_partitions
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = [
+    "WeightFn",
+    "weight_scenario_a",
+    "weight_scenario_b",
+    "weight_power",
+    "weight_max_only",
+    "removal_pmf_from_weights",
+    "CustomRemovalProcess",
+    "custom_removal_kernel",
+    "coalescence_time_custom",
+]
+
+WeightFn = Callable[[int], float]
+
+
+def weight_scenario_a(load: int) -> float:
+    """w(ℓ) = ℓ — recovers scenario A exactly."""
+    return float(load)
+
+
+def weight_scenario_b(load: int) -> float:
+    """w(ℓ) = 1[ℓ > 0] — recovers scenario B exactly."""
+    return 1.0 if load > 0 else 0.0
+
+
+def weight_power(gamma: float) -> WeightFn:
+    """w(ℓ) = ℓ^γ — load-pressure removal (γ = 1 is scenario A)."""
+    if gamma <= 0:
+        raise ValueError(f"gamma must be > 0, got {gamma}")
+
+    def w(load: int) -> float:
+        return float(load) ** gamma if load > 0 else 0.0
+
+    return w
+
+
+def weight_max_only() -> WeightFn:
+    """Not representable as a pure per-load weight — see note.
+
+    Removing only from fullest bins depends on the whole state, not one
+    load; use :func:`weight_power` with a large γ as the smooth
+    approximation instead.  Kept as a documented non-example.
+    """
+    raise NotImplementedError(
+        "max-only removal is state-dependent; approximate with "
+        "weight_power(gamma) for large gamma"
+    )
+
+
+def removal_pmf_from_weights(v: np.ndarray, weight: WeightFn) -> np.ndarray:
+    """Exact removal pmf over normalized indices for a weight function.
+
+    Raises if no bin has positive weight (nothing removable).
+    """
+    w = np.array([weight(int(x)) for x in v], dtype=np.float64)
+    if (w < 0).any():
+        raise ValueError("weights must be non-negative")
+    # Never remove from an empty bin regardless of the weight function.
+    w[v == 0] = 0.0
+    total = w.sum()
+    if total <= 0:
+        raise ValueError("no bin has positive removal weight")
+    return w / total
+
+
+class CustomRemovalProcess(DynamicAllocationProcess):
+    """Remove-by-weight, place-by-rule dynamic process."""
+
+    def __init__(
+        self,
+        rule: SchedulingRule,
+        weight: WeightFn,
+        state: Union[LoadVector, np.ndarray, list],
+        *,
+        seed: SeedLike = None,
+    ):
+        super().__init__(state, seed=seed)
+        self.rule = rule
+        self.weight = weight
+
+    def step(self) -> None:
+        rng = self._rng
+        pmf = removal_pmf_from_weights(self._v, self.weight)
+        i = int(np.searchsorted(np.cumsum(pmf), rng.random(), side="right"))
+        i = min(i, self.n - 1)
+        self._decrement_at(i)
+        j = self.rule.select(self._v, rng)
+        self._increment_at(j)
+        self._t += 1
+
+
+def custom_removal_kernel(
+    rule: SchedulingRule,
+    weight: WeightFn,
+    n: int,
+    m: int,
+) -> FiniteMarkovChain:
+    """Exact kernel of the custom-removal process on Ω_m."""
+    states = all_partitions(m, n)
+    index = {s: k for k, s in enumerate(states)}
+    P = np.zeros((len(states), len(states)))
+    for k, s in enumerate(states):
+        v = np.array(s, dtype=np.int64)
+        pmf = removal_pmf_from_weights(v, weight)
+        for i in range(n):
+            if pmf[i] <= 0:
+                continue
+            vstar = ominus(v, i)
+            q = rule.insertion_distribution(vstar)
+            for j in range(n):
+                if q[j] <= 0:
+                    continue
+                v0 = oplus(vstar, j)
+                P[k, index[tuple(int(x) for x in v0)]] += pmf[i] * q[j]
+    return FiniteMarkovChain(states, P)
+
+
+def coalescence_time_custom(
+    rule: SchedulingRule,
+    weight: WeightFn,
+    start_v,
+    start_u,
+    *,
+    max_steps: int = 10_000_000,
+    seed: SeedLike = None,
+) -> int:
+    """Shared-randomness coalescence under a custom removal law.
+
+    Removal is quantile-coupled through the weight-induced CDFs (both
+    chains invert at the same uniform), insertion is the Lemma 3.3
+    coupling — the same grand-coupling construction as scenarios A/B.
+    """
+    rng = as_generator(seed)
+    v = (start_v.loads if isinstance(start_v, LoadVector) else LoadVector(start_v).loads).copy()
+    u = (start_u.loads if isinstance(start_u, LoadVector) else LoadVector(start_u).loads).copy()
+    if v.shape != u.shape or int(v.sum()) != int(u.sum()):
+        raise ValueError("states must have equal size and ball count")
+    n = v.shape[0]
+    if np.array_equal(v, u):
+        return 0
+    for step in range(1, max_steps + 1):
+        q = float(rng.random())
+        for arr in (v, u):
+            pmf = removal_pmf_from_weights(arr, weight)
+            i = int(np.searchsorted(np.cumsum(pmf), q, side="right"))
+            i = min(i, n - 1)
+            arr[:] = ominus(arr, i)
+        length = max(rule.source_length(v), rule.source_length(u))
+        rs = rng.integers(0, n, size=length)
+        v = oplus(v, rule.select_from_source(v, rs))
+        u = oplus(u, rule.select_from_source(u, rule.phi(rs)))
+        if np.array_equal(v, u):
+            return step
+    return -1

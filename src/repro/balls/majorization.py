@@ -1,0 +1,122 @@
+"""Majorization order on load vectors and monotonicity of the coupling.
+
+For normalized v, u ∈ Ω_m, v ⪰ u ("v majorizes u") iff every prefix sum
+of v dominates u's.  The order's maximum on Ω_m is the crash state
+m·e₁ and its minimum the balanced vector — exactly the two start states
+the experiments use, which is no accident: majorization is the natural
+"more concentrated than" order.
+
+The key structural fact (machine-checked here, in the spirit of Azar et
+al.'s monotone-coupling arguments): the scenario-A grand-coupling phase
+is **monotone** — if v ⪰ u, then after a shared-randomness phase
+(same removal quantile, same insertion source) still v' ⪰ u'.  Scenario
+B's removal step is *not* monotone (a counterexample is found by the
+checker), which is another face of the paper's observation that
+scenario B is the harder model.
+
+Monotonicity is what powers :func:`repro.markov.cftp
+.monotone_cftp_sample`: coupling-from-the-past only needs to track the
+two extreme states, so perfect sampling scales to (n, m) in the
+hundreds instead of |Ω_m| states.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Literal
+
+import numpy as np
+
+from repro.balls.distributions import quantile_removal_a, quantile_removal_b
+from repro.balls.load_vector import ominus, oplus
+from repro.balls.rules import SchedulingRule
+from repro.utils.partitions import all_partitions
+
+__all__ = [
+    "majorizes",
+    "top_state",
+    "bottom_state",
+    "check_monotone_phase",
+    "MonotonicityViolation",
+]
+
+
+def majorizes(v: np.ndarray, u: np.ndarray) -> bool:
+    """True iff v ⪰ u: all prefix sums of v dominate u's (equal totals)."""
+    v = np.asarray(v, dtype=np.int64)
+    u = np.asarray(u, dtype=np.int64)
+    if v.shape != u.shape:
+        raise ValueError("vectors must have the same length")
+    cv = np.cumsum(v)
+    cu = np.cumsum(u)
+    if cv[-1] != cu[-1]:
+        raise ValueError("majorization compares equal-total vectors")
+    return bool((cv >= cu).all())
+
+
+def top_state(m: int, n: int) -> np.ndarray:
+    """The ⪰-maximum of Ω_m: the crash state m·e₁."""
+    v = np.zeros(n, dtype=np.int64)
+    v[0] = m
+    return v
+
+
+def bottom_state(m: int, n: int) -> np.ndarray:
+    """The ⪰-minimum of Ω_m: the balanced vector."""
+    q, r = divmod(m, n)
+    v = np.full(n, q, dtype=np.int64)
+    v[:r] += 1
+    return v
+
+
+class MonotonicityViolation(AssertionError):
+    """Raised by :func:`check_monotone_phase` with a counterexample."""
+
+
+def check_monotone_phase(
+    rule: SchedulingRule,
+    n: int,
+    m_values: Iterable[int],
+    *,
+    scenario: Literal["a", "b"] = "a",
+    removal_grid: int = 64,
+) -> None:
+    """Exhaustively check monotonicity of the grand-coupled phase.
+
+    For every comparable pair v ⪰ u in Ω_m, every removal quantile on a
+    grid refining both inverse CDFs, and every insertion source:
+    the coupled phase must preserve ⪰.  Raises
+    :class:`MonotonicityViolation` with the first counterexample.
+
+    Expected outcomes (and the tests assert exactly this): scenario A
+    passes; scenario B fails already at the removal stage.
+    """
+    from repro.balls.right_oriented import iter_sources
+
+    quantile = quantile_removal_a if scenario == "a" else quantile_removal_b
+    for m in m_values:
+        states = [np.array(s, dtype=np.int64) for s in all_partitions(m, n)]
+        for v in states:
+            for u in states:
+                if not majorizes(v, u):
+                    continue
+                for k in range(removal_grid):
+                    q = (k + 0.5) / removal_grid
+                    vstar = ominus(v, quantile(v, q))
+                    ustar = ominus(u, quantile(u, q))
+                    if not majorizes(vstar, ustar):
+                        raise MonotonicityViolation(
+                            f"removal breaks ⪰: v={v.tolist()}, "
+                            f"u={u.tolist()}, q={q:.4f} -> "
+                            f"{vstar.tolist()} vs {ustar.tolist()}"
+                        )
+                    length = max(
+                        rule.source_length(vstar), rule.source_length(ustar)
+                    )
+                    for rs in iter_sources(n, length):
+                        v2 = oplus(vstar, rule.select_from_source(vstar, rs))
+                        u2 = oplus(ustar, rule.select_from_source(ustar, rule.phi(rs)))
+                        if not majorizes(v2, u2):
+                            raise MonotonicityViolation(
+                                f"insertion breaks ⪰: v*={vstar.tolist()}, "
+                                f"u*={ustar.tolist()}, rs={rs.tolist()}"
+                            )

@@ -1,0 +1,164 @@
+"""Common driver machinery for dynamic allocation processes.
+
+A *dynamic allocation process* (§3.3) repeats a phase of (remove one
+ball, place one ball with a scheduling rule).  This module provides the
+stateful simulator base class shared by scenario A
+(:class:`repro.balls.scenario_a.ScenarioAProcess`), scenario B
+(:class:`repro.balls.scenario_b.ScenarioBProcess`) and the §7 variants.
+
+Simulators own a normalized load array, mutate it in place via the
+Fact 3.2 O(log n) primitives, and expose:
+
+* ``step()`` — one phase;
+* ``run(steps)`` — many phases;
+* ``trajectory(steps, stat, every)`` — record a statistic along the run;
+* ``state`` — a defensive :class:`~repro.balls.load_vector.LoadVector`
+  snapshot.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Union
+
+import numpy as np
+
+from repro.balls.load_vector import LoadVector, ominus_index, oplus_index
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = ["DynamicAllocationProcess", "StatFn", "max_load_stat", "nonempty_stat"]
+
+StatFn = Callable[[np.ndarray], float]
+
+
+def max_load_stat(v: np.ndarray) -> float:
+    """Statistic: maximum load (v₁ — the paper's headline measure)."""
+    return float(v[0])
+
+
+def nonempty_stat(v: np.ndarray) -> float:
+    """Statistic: number of nonempty bins."""
+    return float(np.searchsorted(-v, 0, side="left"))
+
+
+class DynamicAllocationProcess(ABC):
+    """Stateful simulator of a remove-then-place allocation process."""
+
+    def __init__(
+        self,
+        state: Union[LoadVector, np.ndarray, list],
+        *,
+        seed: SeedLike = None,
+    ):
+        if isinstance(state, LoadVector):
+            v = state.loads.copy()
+        else:
+            v = LoadVector(state).loads.copy()
+        if int(v.sum()) < 1:
+            raise ValueError("dynamic processes need at least one ball to remove")
+        self._v = v
+        self._rng = as_generator(seed)
+        self._t = 0
+
+    # -- state access --------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of bins."""
+        return int(self._v.shape[0])
+
+    @property
+    def m(self) -> int:
+        """Current number of balls."""
+        return int(self._v.sum())
+
+    @property
+    def t(self) -> int:
+        """Number of phases executed so far."""
+        return self._t
+
+    @property
+    def state(self) -> LoadVector:
+        """A defensive snapshot of the current normalized state."""
+        return LoadVector(self._v.copy(), normalize=False)
+
+    @property
+    def loads(self) -> np.ndarray:
+        """Live view of the internal descending load array (read-only use)."""
+        return self._v
+
+    @property
+    def max_load(self) -> int:
+        """Current maximum load."""
+        return int(self._v[0])
+
+    # -- mutation primitives shared by subclasses -----------------------------
+
+    def _decrement_at(self, i: int) -> int:
+        """Apply ``v ⊖ e_i`` in place; returns the touched position."""
+        s = ominus_index(self._v, i)
+        self._v[s] -= 1
+        return s
+
+    def _increment_at(self, i: int) -> int:
+        """Apply ``v ⊕ e_i`` in place; returns the touched position."""
+        j = oplus_index(self._v, i)
+        self._v[j] += 1
+        return j
+
+    # -- the process ----------------------------------------------------------
+
+    @abstractmethod
+    def step(self) -> None:
+        """Execute one phase (remove one ball, place one ball)."""
+
+    def run(self, steps: int) -> "DynamicAllocationProcess":
+        """Execute *steps* phases; returns self for chaining."""
+        if steps < 0:
+            raise ValueError(f"steps must be >= 0, got {steps}")
+        for _ in range(steps):
+            self.step()
+        return self
+
+    def trajectory(
+        self,
+        steps: int,
+        stat: StatFn = max_load_stat,
+        every: int = 1,
+    ) -> np.ndarray:
+        """Run *steps* phases recording ``stat(loads)`` every *every* phases.
+
+        The returned array has ``steps // every + 1`` entries, the first
+        being the statistic of the initial state.
+        """
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        out = [stat(self._v)]
+        for k in range(1, steps + 1):
+            self.step()
+            if k % every == 0:
+                out.append(stat(self._v))
+        return np.asarray(out, dtype=np.float64)
+
+    def run_until(
+        self,
+        predicate: Callable[[np.ndarray], bool],
+        max_steps: int,
+    ) -> int:
+        """Run until ``predicate(loads)`` holds; return the step count.
+
+        Returns ``-1`` if the predicate did not hold within *max_steps*
+        (the state then reflects max_steps phases).
+        """
+        if predicate(self._v):
+            return 0
+        for k in range(1, max_steps + 1):
+            self.step()
+            if predicate(self._v):
+                return k
+        return -1
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(n={self.n}, m={self.m}, t={self._t})"
+        )

@@ -1,0 +1,80 @@
+"""Relocation processes: the §7 "deferred to the full version" extension.
+
+The paper's conclusions mention dynamic processes that *relocate*
+resources (balls) in a limited way each step.  We implement the natural
+such process as an ablation: each phase performs the usual
+remove-then-place, and then with probability ``p_relocate`` additionally
+moves one ball from the fullest bin to the rule-selected bin (if that
+strictly improves balance).  ``p_relocate = 0`` recovers the base
+process exactly; increasing it shows how even a little relocation
+shortens recovery (experiment E14).
+"""
+
+from __future__ import annotations
+
+from typing import Literal, Union
+
+import numpy as np
+
+from repro.balls.load_vector import LoadVector
+from repro.balls.process import DynamicAllocationProcess
+from repro.balls.rules import SchedulingRule
+from repro.utils.rng import SeedLike
+from repro.utils.validation import check_probability
+
+__all__ = ["RelocationProcess"]
+
+
+class RelocationProcess(DynamicAllocationProcess):
+    """Remove-then-place with an optional one-ball relocation per phase.
+
+    ``scenario`` selects the removal model ('a' = uniform ball,
+    'b' = uniform nonempty bin).  After the place step, with probability
+    ``p_relocate`` one ball is moved from the current fullest bin to the
+    bin the rule selects — but only when the move strictly decreases the
+    load gap (fullest load minus target load ≥ 2), so relocation never
+    hurts.
+    """
+
+    def __init__(
+        self,
+        rule: SchedulingRule,
+        state: Union[LoadVector, np.ndarray, list],
+        *,
+        scenario: Literal["a", "b"] = "a",
+        p_relocate: float = 0.5,
+        seed: SeedLike = None,
+    ):
+        super().__init__(state, seed=seed)
+        if scenario not in ("a", "b"):
+            raise ValueError(f"scenario must be 'a' or 'b', got {scenario!r}")
+        self.rule = rule
+        self.scenario = scenario
+        self.p_relocate = check_probability("p_relocate", p_relocate)
+        self._m = int(self._v.sum())
+        self.relocations = 0
+
+    def step(self) -> None:
+        rng = self._rng
+        v = self._v
+        # Remove.
+        if self.scenario == "a":
+            from repro.balls.distributions import quantile_removal_a
+
+            i = quantile_removal_a(v, float(rng.random()))
+        else:
+            from repro.balls.distributions import quantile_removal_b
+
+            i = quantile_removal_b(v, float(rng.random()))
+        self._decrement_at(i)
+        # Place.
+        j = self.rule.select(v, rng)
+        self._increment_at(j)
+        # Optional relocation: fullest bin → rule-selected target.
+        if self.p_relocate > 0 and rng.random() < self.p_relocate:
+            target = self.rule.select(v, rng)
+            if v[0] - v[target] >= 2:
+                self._decrement_at(0)
+                self._increment_at(target)
+                self.relocations += 1
+        self._t += 1

@@ -1,0 +1,316 @@
+"""Scheduling rules: Uniform, ABKU[d] and ADAP(χ) (§2 of the paper).
+
+A *scheduling rule* decides, given the current normalized load vector v,
+into which (normalized) bin index the next ball goes.  The paper
+formalizes rules as *random functions* 𝒟 = (RS, ℝS, D̄, 𝒟): a source
+space RS, a random source generator ℝS, and a deterministic map
+D̄ : Ω × RS → [n] (§3.2).  For all rules in the paper the source is the
+i.u.r. sequence b = (b₁, b₂, …) of bin indices, and the permutation
+Φ_D of Definition 3.4 is the identity (Lemma 3.4), which we inherit here.
+
+Rules implemented:
+
+* :class:`UniformRule` — classical single-choice (d = 1);
+* :class:`ABKURule` — Azar–Broder–Karlin–Upfal: pick d bins i.u.r. with
+  replacement, place in the least full.  In normalized coordinates
+  (descending loads) the least full of the sampled bins is the one with
+  the *largest index*, so ``D̄(v, b) = max{b₁, …, b_d}`` and the exact
+  insertion law has the closed form
+  ``Pr[index = i] = ((i+1)/n)^d − (i/n)^d`` (0-based), independent of v;
+* :class:`AdaptiveRule` — Czumaj–Stemann ADAP(χ) for a nondecreasing
+  positive integer sequence χ = (χ₀, χ₁, …): keep sampling bins; after M
+  samples let p be the least-full sampled bin (largest index) with load
+  ℓ; stop as soon as χ_ℓ ≤ M.  ABKU[d] is exactly ADAP(χ ≡ d).
+
+All three are right-oriented (Lemma 3.4) — checked exhaustively by
+:func:`repro.balls.right_oriented.check_right_oriented` in the tests.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Sequence, Union
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "SchedulingRule",
+    "UniformRule",
+    "ABKURule",
+    "AdaptiveRule",
+    "make_rule",
+    "constant_chi",
+    "geometric_chi",
+    "threshold_chi",
+    "linear_chi",
+]
+
+ChiLike = Union[Callable[[int], int], Sequence[int]]
+
+
+# ---------------------------------------------------------------------------
+# χ schedules for ADAP(χ)
+# ---------------------------------------------------------------------------
+
+def constant_chi(d: int) -> Callable[[int], int]:
+    """χ_ℓ ≡ d: the schedule making ADAP(χ) coincide with ABKU[d]."""
+    d = check_positive_int("d", d)
+    return lambda load: d
+
+
+def threshold_chi(low: int, high: int, cutoff: int) -> Callable[[int], int]:
+    """χ_ℓ = low below *cutoff*, high at or above — a two-level adaptive rule.
+
+    Models 'sample harder only when the candidate bin is already loaded'.
+    Requires 1 <= low <= high so χ stays nondecreasing.
+    """
+    low = check_positive_int("low", low)
+    high = check_positive_int("high", high)
+    if low > high:
+        raise ValueError(f"threshold_chi needs low <= high, got {low} > {high}")
+    return lambda load: low if load < cutoff else high
+
+
+def linear_chi(slope: int = 1, offset: int = 1) -> Callable[[int], int]:
+    """χ_ℓ = slope·ℓ + offset — sampling effort grows with candidate load."""
+    slope = check_positive_int("slope", slope) if slope != 0 else 0
+    offset = check_positive_int("offset", offset)
+    return lambda load: slope * load + offset
+
+
+def geometric_chi(base: int = 2, cap: int = 64) -> Callable[[int], int]:
+    """χ_ℓ = min(base^ℓ, cap) — sampling effort doubles with each load level.
+
+    The capped growth keeps source lengths bounded (ADAP terminates by
+    χ at the max load); base ≥ 2 and cap ≥ 1 required.
+    """
+    base = check_positive_int("base", base)
+    if base < 2:
+        raise ValueError(f"geometric_chi needs base >= 2, got {base}")
+    cap = check_positive_int("cap", cap)
+    return lambda load: min(base ** load, cap)
+
+
+def _as_chi(chi: ChiLike) -> Callable[[int], int]:
+    if callable(chi):
+        return chi
+    seq = [int(x) for x in chi]
+    if not seq:
+        raise ValueError("chi sequence must be non-empty")
+    last = seq[-1]
+
+    def lookup(load: int) -> int:
+        return seq[load] if load < len(seq) else last
+
+    return lookup
+
+
+# ---------------------------------------------------------------------------
+# Rule base class
+# ---------------------------------------------------------------------------
+
+class SchedulingRule(ABC):
+    """Abstract scheduling rule, reifying the paper's quadruple (RS, ℝS, D̄, 𝒟).
+
+    A *source* ``rs`` is an int64 array of i.u.r. bin indices (a prefix
+    of the infinite sequence b).  ``select_from_source`` is the
+    deterministic D̄; ``select`` is the fast sampler 𝒟; ``phi`` is the
+    permutation Φ_D of Definition 3.4 (identity for all paper rules).
+    """
+
+    name: str = "rule"
+
+    @abstractmethod
+    def source_length(self, v: np.ndarray) -> int:
+        """Number of source samples sufficient to evaluate D̄(v, ·)."""
+
+    @abstractmethod
+    def select_from_source(self, v: np.ndarray, rs: np.ndarray) -> int:
+        """Deterministic D̄(v, rs): the normalized insertion index."""
+
+    @abstractmethod
+    def insertion_distribution(self, v: np.ndarray) -> np.ndarray:
+        """Exact pmf over normalized indices 0..n-1 of the insertion index."""
+
+    def draw_source(
+        self, n: int, seed: SeedLike = None, length: int | None = None
+    ) -> np.ndarray:
+        """Draw a source prefix: *length* i.u.r. bin indices in [0, n)."""
+        rng = as_generator(seed)
+        if length is None:
+            raise ValueError("length is required when no state is given")
+        return rng.integers(0, n, size=int(length))
+
+    def phi(self, rs: np.ndarray) -> np.ndarray:
+        """Φ_D(rs) from Definition 3.4 — identity for all paper rules."""
+        return rs
+
+    def select(self, v: np.ndarray, seed: SeedLike = None) -> int:
+        """Sample the insertion index 𝒟(v) (default: via an explicit source)."""
+        rng = as_generator(seed)
+        rs = self.draw_source(v.shape[0], rng, length=self.source_length(v))
+        return self.select_from_source(v, rs)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+# ---------------------------------------------------------------------------
+# Concrete rules
+# ---------------------------------------------------------------------------
+
+class ABKURule(SchedulingRule):
+    """ABKU[d]: place the ball in the least full of d i.u.r. bins."""
+
+    def __init__(self, d: int):
+        self.d = check_positive_int("d", d)
+        self.name = f"abku[{self.d}]"
+
+    def source_length(self, v: np.ndarray) -> int:
+        return self.d
+
+    def select_from_source(self, v: np.ndarray, rs: np.ndarray) -> int:
+        if rs.shape[0] < self.d:
+            raise ValueError(
+                f"source too short for ABKU[{self.d}]: {rs.shape[0]} < {self.d}"
+            )
+        # Normalized coordinates: least-full sampled bin = largest index.
+        return int(rs[: self.d].max())
+
+    def insertion_distribution(self, v: np.ndarray) -> np.ndarray:
+        n = v.shape[0]
+        i = np.arange(1, n + 1, dtype=np.float64)
+        cdf = (i / n) ** self.d
+        pmf = np.empty(n, dtype=np.float64)
+        pmf[0] = cdf[0]
+        pmf[1:] = np.diff(cdf)
+        return pmf
+
+    def select(self, v: np.ndarray, seed: SeedLike = None) -> int:
+        # Inverse-transform shortcut: max of d uniforms on [n] equals
+        # floor(n·U^{1/d}) in distribution (one draw instead of d).
+        rng = as_generator(seed)
+        n = v.shape[0]
+        j = int(n * float(rng.random()) ** (1.0 / self.d))
+        return min(j, n - 1)
+
+    def __repr__(self) -> str:
+        return f"ABKURule(d={self.d})"
+
+
+class UniformRule(ABKURule):
+    """Classical single-choice allocation (ABKU[1])."""
+
+    def __init__(self) -> None:
+        super().__init__(1)
+        self.name = "uniform"
+
+    def __repr__(self) -> str:
+        return "UniformRule()"
+
+
+class AdaptiveRule(SchedulingRule):
+    """ADAP(χ) of Czumaj & Stemann (§2).
+
+    ``chi`` maps a load ℓ to the sample budget χ_ℓ (a nondecreasing
+    sequence of positive integers; validated lazily on the loads seen).
+    The rule samples bins one at a time; after M samples, with p the
+    least-full sampled bin (largest normalized index) of load ℓ = v_p,
+    it stops and places the ball in p as soon as χ_ℓ ≤ M.
+    """
+
+    def __init__(self, chi: ChiLike, *, name: str | None = None):
+        self._chi_raw = chi
+        self.chi = _as_chi(chi)
+        self.name = name or "adap"
+
+    def _chi_at(self, load: int) -> int:
+        x = int(self.chi(int(load)))
+        if x < 1:
+            raise ValueError(f"chi({load}) = {x}; χ must be positive")
+        return x
+
+    def source_length(self, v: np.ndarray) -> int:
+        # The candidate index p only increases and v is descending, so
+        # the threshold χ_{v_p} only shrinks over time; the process
+        # stops no later than step χ_{v_0} (the threshold at max load).
+        return self._chi_at(int(v[0]))
+
+    def select_from_source(self, v: np.ndarray, rs: np.ndarray) -> int:
+        p = -1
+        for t in range(rs.shape[0]):
+            b = int(rs[t])
+            if b > p:
+                p = b
+            if self._chi_at(int(v[p])) <= t + 1:
+                return p
+        raise ValueError(
+            f"source of length {rs.shape[0]} exhausted before ADAP stopped "
+            f"(needs up to {self.source_length(v)})"
+        )
+
+    def select(self, v: np.ndarray, seed: SeedLike = None) -> int:
+        rng = as_generator(seed)
+        n = v.shape[0]
+        p = -1
+        t = 0
+        while True:
+            t += 1
+            b = int(rng.integers(0, n))
+            if b > p:
+                p = b
+            if self._chi_at(int(v[p])) <= t:
+                return p
+
+    def insertion_distribution(self, v: np.ndarray) -> np.ndarray:
+        """Exact insertion pmf by dynamic programming over (step, max index).
+
+        The running state after t samples is the current max index p.
+        The max-of-uniforms update sends mass Q(p)·(p+1)/n to p and
+        Σ_{p'<p} Q(p')·(1/n) to p; mass at p exits to the output as soon
+        as χ_{v_p} ≤ t.
+        """
+        n = v.shape[0]
+        out = np.zeros(n, dtype=np.float64)
+        running = np.zeros(n, dtype=np.float64)  # mass by current max index
+        thresholds = np.array([self._chi_at(int(v[i])) for i in range(n)])
+        t = 0
+        # First sample: uniform.
+        t = 1
+        running[:] = 1.0 / n
+        stopped = thresholds <= t
+        out[stopped] += running[stopped]
+        running[stopped] = 0.0
+        max_t = int(thresholds.max())
+        while running.sum() > 0 and t < max_t:
+            t += 1
+            csum = np.concatenate(([0.0], np.cumsum(running)[:-1]))
+            idx = np.arange(1, n + 1, dtype=np.float64)
+            running = running * (idx / n) + csum / n
+            stopped = thresholds <= t
+            out[stopped] += running[stopped]
+            running[stopped] = 0.0
+        if running.sum() > 1e-12:
+            raise RuntimeError("ADAP insertion DP failed to terminate")
+        return out
+
+    def __repr__(self) -> str:
+        return f"AdaptiveRule(name={self.name!r})"
+
+
+def make_rule(kind: str, **kwargs) -> SchedulingRule:
+    """Factory: ``make_rule('abku', d=2)``, ``make_rule('uniform')``,
+    ``make_rule('adap', chi=...)``."""
+    kind = kind.lower()
+    if kind == "uniform":
+        return UniformRule()
+    if kind == "abku":
+        return ABKURule(kwargs.pop("d", 2))
+    if kind == "adap":
+        if "chi" not in kwargs:
+            raise ValueError("make_rule('adap') requires chi=...")
+        return AdaptiveRule(kwargs.pop("chi"), name=kwargs.pop("name", None))
+    raise ValueError(f"unknown rule kind {kind!r}")

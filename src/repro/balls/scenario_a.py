@@ -1,0 +1,79 @@
+"""Scenario A: remove a uniformly random *ball*, then place a new one (§2, §4).
+
+One phase of the process I_A:
+
+1. remove a ball chosen i.u.r. among the m balls — in normalized
+   coordinates, decrement bin i drawn from 𝒜(v) (Pr[i] = v_i / m), then
+   re-normalize (Fact 3.2);
+2. place a new ball at the index selected by the scheduling rule
+   (ABKU[d] gives I_A-ABKU[d], ADAP(χ) gives I_A-ADAP(χ)).
+
+Theorem 1 of the paper: for any right-oriented rule the mixing /
+recovery time is τ(ε) = ⌈m·ln(m/ε)⌉.
+
+The simulator keeps a Fenwick tree over the loads so the 𝒜(v) draw and
+both Fact 3.2 updates are O(log n) per phase — this is the hot loop of
+experiments E1/E2/E7.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.balls.load_vector import LoadVector
+from repro.balls.process import DynamicAllocationProcess
+from repro.balls.rules import SchedulingRule
+from repro.utils.fenwick import FenwickTree
+from repro.utils.rng import SeedLike
+
+__all__ = ["ScenarioAProcess", "scenario_a_transition"]
+
+
+class ScenarioAProcess(DynamicAllocationProcess):
+    """Stateful simulator of I_A with an arbitrary scheduling rule."""
+
+    def __init__(
+        self,
+        rule: SchedulingRule,
+        state: Union[LoadVector, np.ndarray, list],
+        *,
+        seed: SeedLike = None,
+    ):
+        super().__init__(state, seed=seed)
+        self.rule = rule
+        self._fenwick = FenwickTree(self._v)
+        self._m = int(self._v.sum())
+
+    def step(self) -> None:
+        rng = self._rng
+        # Remove: bin ~ A(v), i.e. inverse-CDF of loads at a uniform ball.
+        i = self._fenwick.find(int(rng.integers(0, self._m)))
+        s = self._decrement_at(i)
+        self._fenwick.add(s, -1)
+        # Place: rule-selected index on the intermediate state v*.
+        j = self.rule.select(self._v, rng)
+        jj = self._increment_at(j)
+        self._fenwick.add(jj, +1)
+        self._t += 1
+
+
+def scenario_a_transition(
+    rule: SchedulingRule,
+    v: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """One functional I_A phase on a raw normalized array (returns a copy).
+
+    Used by coupling code that needs transitions without simulator
+    state.  O(n) per call (cumulative-sum removal draw); prefer
+    :class:`ScenarioAProcess` for long runs.
+    """
+    from repro.balls.distributions import sample_removal_a
+    from repro.balls.load_vector import ominus, oplus
+
+    i = sample_removal_a(v, rng)
+    vstar = ominus(v, i)
+    j = rule.select(vstar, rng)
+    return oplus(vstar, j)

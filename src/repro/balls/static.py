@@ -1,0 +1,99 @@
+"""Static allocation baselines (§1 of the paper).
+
+The classical static problem: throw m balls sequentially into n bins.
+With the uniform rule the max load is Θ(ln n / ln ln n) for m = n; with
+ABKU[d], d ≥ 2, it drops to ln ln n / ln d + Θ(1) (Azar et al.) — the
+"power of two choices".  These baselines anchor experiment E5 and give
+the *typical* max load that dynamic recovery converges to.
+
+The fast path exploits that for ABKU[d] the insertion index distribution
+depends on the state only through the ordering, which our normalized
+representation maintains for free: each insertion draws the index
+``floor(n·U^{1/d})`` and applies the Fact 3.2 increment, so a full
+allocation is O(m log n).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.balls.load_vector import LoadVector, oplus_index
+from repro.balls.rules import ABKURule, SchedulingRule
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "static_allocate",
+    "static_max_load",
+    "static_max_load_samples",
+    "predicted_static_max_load",
+]
+
+
+def static_allocate(
+    rule: SchedulingRule,
+    m: int,
+    n: int,
+    seed: SeedLike = None,
+) -> LoadVector:
+    """Allocate *m* balls into *n* empty bins with *rule*; return the state."""
+    m = check_positive_int("m", m)
+    n = check_positive_int("n", n)
+    rng = as_generator(seed)
+    v = np.zeros(n, dtype=np.int64)
+    if isinstance(rule, ABKURule):
+        # Vectorized draw of all insertion indices' uniforms up front;
+        # the index depends on v only through the (maintained) ordering.
+        us = rng.random(m)
+        d = rule.d
+        idxs = np.minimum((n * us ** (1.0 / d)).astype(np.int64), n - 1)
+        for j in idxs:
+            v[oplus_index(v, int(j))] += 1
+    else:
+        for _ in range(m):
+            j = rule.select(v, rng)
+            v[oplus_index(v, j)] += 1
+    return LoadVector(v, normalize=False)
+
+
+def static_max_load(
+    rule: SchedulingRule,
+    m: int,
+    n: int,
+    seed: SeedLike = None,
+) -> int:
+    """Max load after statically allocating m balls into n bins."""
+    return static_allocate(rule, m, n, seed).max_load
+
+
+def static_max_load_samples(
+    rule: SchedulingRule,
+    m: int,
+    n: int,
+    replicas: int,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Max-load samples over independent replicas (for E5 statistics)."""
+    from repro.utils.rng import spawn_generators
+
+    gens = spawn_generators(seed, replicas)
+    return np.array(
+        [static_max_load(rule, m, n, g) for g in gens], dtype=np.int64
+    )
+
+
+def predicted_static_max_load(d: int, n: int, m: int | None = None) -> float:
+    """First-order theory prediction for the static max load at m = n.
+
+    d = 1: ln n / ln ln n (classical); d >= 2: ln ln n / ln d (Azar et
+    al.), both up to Θ(1) / lower-order terms.  For m > n an m/n offset
+    is added.  Used only as the comparison column in E5 tables.
+    """
+    d = check_positive_int("d", d)
+    n = check_positive_int("n", n)
+    if n < 3:
+        raise ValueError("prediction needs n >= 3 (ln ln n must be positive)")
+    base = float(m) / n - 1.0 if (m is not None and m > n) else 0.0
+    if d == 1:
+        return base + np.log(n) / np.log(np.log(n))
+    return base + np.log(np.log(n)) / np.log(d)

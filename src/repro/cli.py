@@ -1,0 +1,275 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``simulate`` — run a dynamic process from a chosen start state and
+  print the max-load trajectory;
+* ``bounds``   — print every recovery bound of the paper for a given
+  (n, m) and ε;
+* ``experiment`` — run one experiment (E1–E15) and print its tables;
+* ``report``   — run all experiments and write EXPERIMENTS.md;
+* ``verify``   — machine-verify the paper's coupling lemmas on small
+  exhaustive domains (exits nonzero on any violation);
+* ``static``   — static allocation baseline (max load for d = 1..D).
+
+Every command takes ``--seed`` for reproducibility.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Recovery Time of Dynamic Allocation Processes (SPAA 1998) "
+        "— reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("simulate", help="run a dynamic process")
+    p.add_argument("--scenario", choices=("a", "b", "edge"), default="a")
+    p.add_argument("--n", type=int, default=100, help="bins / vertices")
+    p.add_argument("--m", type=int, default=None, help="balls (default: n)")
+    p.add_argument("--d", type=int, default=2, help="ABKU choices")
+    p.add_argument("--steps", type=int, default=None,
+                   help="steps (default: the paper's recovery bound)")
+    p.add_argument("--start", choices=("crash", "balanced", "random"),
+                   default="crash")
+    p.add_argument("--checkpoints", type=int, default=8)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("bounds", help="print the paper's recovery bounds")
+    p.add_argument("--n", type=int, default=100)
+    p.add_argument("--m", type=int, default=None)
+    p.add_argument("--eps", type=float, default=0.25)
+
+    p = sub.add_parser("experiment", help="run one experiment")
+    p.add_argument("id", help="experiment id, e.g. E4")
+    p.add_argument("--scale", choices=("smoke", "paper"), default="smoke")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("report", help="run all experiments, write EXPERIMENTS.md")
+    p.add_argument("--scale", choices=("smoke", "paper"), default="smoke")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default="EXPERIMENTS.md")
+
+    p = sub.add_parser("verify", help="machine-verify the coupling lemmas")
+    p.add_argument("--n", type=int, default=4)
+    p.add_argument("--m", type=int, default=4)
+    p.add_argument("--edge-n", type=int, default=5)
+
+    p = sub.add_parser("diagnose", help="mixing diagnostics of a small exact chain")
+    p.add_argument("--chain", choices=("a", "b", "edge"), default="a")
+    p.add_argument("--n", type=int, default=3)
+    p.add_argument("--m", type=int, default=5)
+    p.add_argument("--eps", type=float, default=0.25)
+
+    p = sub.add_parser("static", help="static allocation baseline")
+    p.add_argument("--n", type=int, default=4096)
+    p.add_argument("--max-d", type=int, default=3)
+    p.add_argument("--replicas", type=int, default=5)
+    p.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _cmd_simulate(args) -> int:
+    from repro.balls.load_vector import LoadVector
+    from repro.balls.rules import ABKURule
+    from repro.balls.scenario_a import ScenarioAProcess
+    from repro.balls.scenario_b import ScenarioBProcess
+    from repro.coupling.recovery import claim53_bound, theorem1_bound, theorem2_bound
+    from repro.utils.tables import Table
+
+    n = args.n
+    m = args.m if args.m is not None else n
+    if args.scenario == "edge":
+        from repro.analysis.recovery_measure import crash_state_edge
+        from repro.edgeorient.greedy import EdgeOrientationProcess
+
+        start = crash_state_edge(n) if args.start == "crash" else [0] * n
+        proc = EdgeOrientationProcess(start, seed=args.seed)
+        steps = args.steps if args.steps is not None else int(theorem2_bound(n))
+        t = Table(["step", "unfairness"], title=f"edge orientation, n={n}")
+        chunk = max(1, steps // args.checkpoints)
+        t.add_row([0, proc.unfairness])
+        done = 0
+        while done < steps:
+            todo = min(chunk, steps - done)
+            proc.run(todo)
+            done += todo
+            t.add_row([done, proc.unfairness])
+        print(t.render())
+        return 0
+
+    rule = ABKURule(args.d)
+    if args.start == "crash":
+        start = LoadVector.all_in_one(m, n)
+    elif args.start == "balanced":
+        start = LoadVector.balanced(m, n)
+    else:
+        start = LoadVector.random(m, n, args.seed)
+    if args.scenario == "a":
+        proc = ScenarioAProcess(rule, start, seed=args.seed)
+        default_steps = theorem1_bound(m)
+    else:
+        proc = ScenarioBProcess(rule, start, seed=args.seed)
+        default_steps = min(claim53_bound(n, m), 20 * n * m)
+    steps = args.steps if args.steps is not None else default_steps
+    t = Table(
+        ["step", "max load"],
+        title=f"I_{args.scenario.upper()}-ABKU[{args.d}], n={n}, m={m}",
+    )
+    chunk = max(1, steps // args.checkpoints)
+    loads = [proc.max_load]
+    t.add_row([0, proc.max_load])
+    done = 0
+    while done < steps:
+        todo = min(chunk, steps - done)
+        proc.run(todo)
+        done += todo
+        loads.append(proc.max_load)
+        t.add_row([done, proc.max_load])
+    print(t.render())
+    from repro.utils.ascii_plot import sparkline
+
+    print(f"max load trajectory: {sparkline(loads)}")
+    return 0
+
+
+def _cmd_bounds(args) -> int:
+    from repro.coupling.recovery import RecoveryBounds
+    from repro.utils.tables import Table
+
+    n = args.n
+    m = args.m if args.m is not None else n
+    rb = RecoveryBounds.for_balls(n, m, args.eps)
+    re = RecoveryBounds.for_edge_orientation(n, args.eps)
+    t = Table(["bound", "value"], title=f"paper bounds at n={n}, m={m}, eps={args.eps}")
+    t.add_row(["Theorem 1 (scenario A)", rb.scenario_a])
+    t.add_row(["  tight rate m ln m", rb.scenario_a_lower])
+    t.add_row(["Claim 5.3 (scenario B)", rb.scenario_b])
+    t.add_row(["  improved shape m^2 ln^2 m", rb.scenario_b_improved])
+    t.add_row(["  lower bounds n*m / m^2", f"{rb.scenario_b_lower_nm:.0f} / {rb.scenario_b_lower_m2:.0f}"])
+    t.add_row(["Corollary 6.4 (edge)", re.edge_cor64])
+    t.add_row(["Theorem 2 shape n^2 ln^2 n", re.edge_thm2])
+    t.add_row(["  lower bound n^2", re.edge_lower])
+    t.add_row(["Ajtai et al. previous n^5", re.edge_previous])
+    print(t.render())
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro.experiments import run_experiment
+
+    result = run_experiment(args.id.upper(), scale=args.scale, seed=args.seed)
+    print(result.render())
+    return 0 if "VIOLATED" not in result.verdict else 1
+
+
+def _cmd_report(args) -> int:
+    from repro.experiments.report import generate
+
+    text = generate(args.scale, args.seed)
+    with open(args.out, "w") as f:
+        f.write(text)
+    print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    from repro.balls.rules import ABKURule
+    from repro.balls.right_oriented import check_right_oriented
+    from repro.coupling.edge_coupling import verify_lemma_62_63
+    from repro.coupling.scenario_a_coupling import verify_corollary_42, verify_lemma_41
+    from repro.coupling.scenario_b_coupling import verify_claim_51_52, verify_claim53_facts
+    from repro.edgeorient.metric import EdgeOrientationMetric
+
+    rule = ABKURule(2)
+    try:
+        violations = check_right_oriented(rule, min(args.n, 3), (2, 3))
+        assert not violations, violations
+        verify_lemma_41(rule, args.n, args.m)
+        worst = verify_corollary_42(rule, args.n, args.m)
+        verify_claim_51_52(args.n, args.m)
+        verify_claim53_facts(rule, args.n, args.m)
+        metric = EdgeOrientationMetric(args.edge_n)
+        metric.check_metric()
+        metric.check_gamma_distances()
+        verify_lemma_62_63(metric)
+    except AssertionError as exc:
+        print(f"VERIFICATION FAILED: {exc}", file=sys.stderr)
+        return 1
+    print(
+        "all coupling lemmas verified: Lemma 3.4, Lemma 4.1, "
+        f"Corollary 4.2 (worst E[delta'] = {worst:.6f} = 1 - 1/m), "
+        "Claims 5.1-5.3, Claim 6.1, Lemmas 6.2/6.3"
+    )
+    return 0
+
+
+def _cmd_static(args) -> int:
+    from repro.balls.rules import ABKURule
+    from repro.balls.static import predicted_static_max_load, static_max_load_samples
+    from repro.utils.tables import Table
+
+    t = Table(
+        ["d", "mean max load", "prediction"],
+        title=f"static allocation of n = m = {args.n}",
+    )
+    for d in range(1, args.max_d + 1):
+        samples = static_max_load_samples(
+            ABKURule(d), args.n, args.n, args.replicas, seed=args.seed + d
+        )
+        t.add_row([d, float(np.mean(samples)), predicted_static_max_load(d, args.n)])
+    print(t.render())
+    return 0
+
+
+def _cmd_diagnose(args) -> int:
+    from repro.analysis.diagnose import diagnose
+    from repro.balls.rules import ABKURule
+    from repro.edgeorient.chain import edge_orientation_kernel
+    from repro.markov import scenario_a_kernel, scenario_b_kernel
+
+    if args.chain == "edge":
+        chain = edge_orientation_kernel(args.n)
+        title = f"edge orientation chain, n={args.n}"
+    else:
+        kernel = scenario_a_kernel if args.chain == "a" else scenario_b_kernel
+        chain = kernel(ABKURule(2), args.n, args.m)
+        title = f"I_{args.chain.upper()}-ABKU[2], n={args.n}, m={args.m}"
+    diag = diagnose(chain, eps=args.eps)
+    diag.check_consistency()
+    print(diag.table(title).render())
+    return 0
+
+
+_COMMANDS = {
+    "simulate": _cmd_simulate,
+    "diagnose": _cmd_diagnose,
+    "bounds": _cmd_bounds,
+    "experiment": _cmd_experiment,
+    "report": _cmd_report,
+    "verify": _cmd_verify,
+    "static": _cmd_static,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

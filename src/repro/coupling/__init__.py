@@ -1,0 +1,66 @@
+"""The paper's primary contribution: path-coupling recovery-time analysis.
+
+* :mod:`repro.coupling.lemma` — the Path Coupling Lemma (Lemma 3.1,
+  both cases) as executable bound calculators;
+* :mod:`repro.coupling.scenario_a_coupling` — the §4 coupling for
+  adjacent pairs under scenario A, with exact expected-distance
+  enumeration (machine-check of Lemma 4.1 / Corollary 4.2);
+* :mod:`repro.coupling.scenario_b_coupling` — the §5 coupling for
+  scenario B (cases s₁ = s₂ and s₁ ≠ s₂), with exact verification of
+  Claims 5.1 / 5.2 and of the E[Δ°] ≤ 1, Pr[coalesce] ≥ 1/n facts
+  behind Claim 5.3;
+* :mod:`repro.coupling.edge_coupling` — the §6 coupling for the edge
+  orientation chain on Γ pairs, with exact verification of
+  Lemmas 6.2 / 6.3;
+* :mod:`repro.coupling.grand` — the shared-randomness coupling for
+  *arbitrary* pairs used to measure coalescence times empirically;
+* :mod:`repro.coupling.contraction` — Monte-Carlo contraction-factor
+  estimators;
+* :mod:`repro.coupling.recovery` — the paper's closed-form recovery
+  bounds (Theorem 1, Claim 5.3, Corollary 6.4, Theorem 2) and the
+  recovery-time estimation API tying everything together.
+"""
+
+from repro.coupling.lemma import (
+    path_coupling_bound,
+    path_coupling_bound_zero_rate,
+)
+from repro.coupling.recovery import (
+    RecoveryBounds,
+    claim53_bound,
+    corollary64_bound,
+    theorem1_bound,
+    theorem2_bound,
+)
+from repro.coupling.delayed import (
+    delayed_path_coupling_bound,
+    exact_s_step_contraction,
+)
+from repro.coupling.path_decomposition import gamma_path_balls, gamma_path_edge
+from repro.coupling.two_phase import TwoPhaseResult, two_phase_coalescence_edge
+from repro.coupling.grand import (
+    coalescence_time_a,
+    coalescence_time_b,
+    coalescence_time_edge,
+    coalescence_times,
+)
+
+__all__ = [
+    "RecoveryBounds",
+    "TwoPhaseResult",
+    "delayed_path_coupling_bound",
+    "exact_s_step_contraction",
+    "gamma_path_balls",
+    "gamma_path_edge",
+    "two_phase_coalescence_edge",
+    "claim53_bound",
+    "coalescence_time_a",
+    "coalescence_time_b",
+    "coalescence_time_edge",
+    "coalescence_times",
+    "corollary64_bound",
+    "path_coupling_bound",
+    "path_coupling_bound_zero_rate",
+    "theorem1_bound",
+    "theorem2_bound",
+]

@@ -1,0 +1,83 @@
+"""The Path Coupling Lemma of Bubley & Dyer (Lemma 3.1), as calculators.
+
+Let Δ be an integer-valued metric on X × X with values in {0, …, D},
+and Γ ⊆ X × X a set of pairs such that every pair decomposes into a
+Γ-path with additive distances.  Suppose a coupling defined on Γ
+satisfies E[Δ(X', Y')] ≤ ρ·Δ(X, Y) for all (X, Y) ∈ Γ.  Then:
+
+1. if ρ < 1:            τ(ε) ≤ ln(D ε⁻¹) / (1 − ρ);
+2. if ρ ≤ 1 and Pr[Δ(X', Y') ≠ Δ(X, Y)] ≥ α on Γ:
+                        τ(ε) ≤ ⌈e·D²/α⌉ · ⌈ln ε⁻¹⌉.
+
+These two formulas power every recovery bound in the paper (Theorem 1
+via case 1 with ρ = 1 − 1/m; Claim 5.3 via case 2 with α = 1/n;
+Corollary 6.4 via case 1 after converting the additive −(C(n,2))⁻¹
+drift into a multiplicative factor).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "path_coupling_bound",
+    "path_coupling_bound_zero_rate",
+    "additive_to_multiplicative",
+]
+
+
+def _check_eps(eps: float) -> float:
+    eps = float(eps)
+    if not 0.0 < eps < 1.0:
+        raise ValueError(f"eps must be in (0, 1), got {eps}")
+    return eps
+
+
+def path_coupling_bound(rho: float, D: float, eps: float = 0.25) -> int:
+    """Case 1 of the Path Coupling Lemma: τ(ε) ≤ ⌈ln(D/ε) / (1 − ρ)⌉.
+
+    Requires a strictly contracting coupling (ρ < 1) and the metric
+    diameter D ≥ 1.
+    """
+    eps = _check_eps(eps)
+    rho = float(rho)
+    if not 0.0 <= rho < 1.0:
+        raise ValueError(f"case 1 needs 0 <= rho < 1, got {rho}")
+    if D < 1:
+        raise ValueError(f"diameter D must be >= 1, got {D}")
+    return int(math.ceil(math.log(D / eps) / (1.0 - rho)))
+
+
+def path_coupling_bound_zero_rate(alpha: float, D: float, eps: float = 0.25) -> int:
+    """Case 2 of the Path Coupling Lemma: τ(ε) ≤ ⌈e·D²/α⌉·⌈ln ε⁻¹⌉.
+
+    Applies when the coupling is non-expanding (ρ ≤ 1) and the distance
+    *moves* with probability at least α on every Γ pair: the distance
+    then performs a bounded martingale-like walk that hits 0 within
+    O(D²/α) steps with constant probability.
+    """
+    eps = _check_eps(eps)
+    alpha = float(alpha)
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    if D < 1:
+        raise ValueError(f"diameter D must be >= 1, got {D}")
+    return int(math.ceil(math.e * D * D / alpha)) * int(
+        math.ceil(math.log(1.0 / eps))
+    )
+
+
+def additive_to_multiplicative(drift: float, gamma_max_distance: float) -> float:
+    """Convert an additive drift into a multiplicative contraction factor.
+
+    If E[Δ'] ≤ Δ − drift on every Γ pair and Δ ≤ gamma_max_distance on
+    Γ, then E[Δ'] ≤ Δ·(1 − drift/gamma_max_distance): the ρ to feed
+    case 1.  This is exactly the step the paper takes after
+    Lemmas 6.2/6.3 (drift = C(n,2)⁻¹, Γ distances ≤ n for Corollary
+    6.4, O(ln n) after the Theorem 2 burn-in argument).
+    """
+    if drift <= 0:
+        raise ValueError(f"drift must be > 0, got {drift}")
+    if gamma_max_distance < drift:
+        raise ValueError("gamma_max_distance must be >= drift")
+    return 1.0 - drift / gamma_max_distance

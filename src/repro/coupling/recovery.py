@@ -1,0 +1,181 @@
+"""Closed-form recovery-time bounds: the paper's headline results.
+
+* **Theorem 1** (scenario A, any right-oriented rule):
+  τ(ε) = ⌈m · ln(m/ε)⌉ — via Path Coupling case 1 with ρ = 1 − 1/m
+  (Corollary 4.2) and diameter D ≤ m.  Tight up to lower-order terms.
+* **Claim 5.3** (scenario B): τ(ε) = O(n·m²·ln ε⁻¹) — via case 2 with
+  ρ = 1, α = 1/n, D ≤ m − ⌈m/n⌉.  The paper also notes the improved
+  O(m²·ln-factors) bound (full version) and the lower bounds Ω(n·m)
+  and, for large m, Ω(m²).
+* **Corollary 6.4** (edge orientation): τ(ε) = O(n³(ln n + ln ε⁻¹)) —
+  Lemmas 6.2/6.3 give additive drift 1/C(n,2) on Γ, Γ-distances ≤ n,
+  whole-space diameter O(n²).
+* **Theorem 2** (edge orientation): τ(1/4) = O(n² ln² n) — after an
+  O(n² ln n) burn-in all discrepancies are O(ln n) w.h.p., shrinking
+  the Γ-distance bound from n to O(ln n); with Ω(n²) as the noted lower
+  bound, almost tight.
+
+The constants below are explicit where the paper's are (Theorem 1,
+Claim 5.3 via the lemma, Corollary 6.4 via the lemma) and unit where the
+paper only states an order of growth (Theorem 2 and the lower bounds) —
+those are *shape* columns for the benches, as recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.coupling.lemma import (
+    additive_to_multiplicative,
+    path_coupling_bound,
+    path_coupling_bound_zero_rate,
+)
+
+__all__ = [
+    "theorem1_bound",
+    "theorem1_lower_shape",
+    "claim53_bound",
+    "claim53_improved_shape",
+    "scenario_b_lower_shapes",
+    "corollary64_bound",
+    "theorem2_bound",
+    "edge_orientation_lower_shape",
+    "ajtai_previous_bound_shape",
+    "RecoveryBounds",
+]
+
+
+def _check_m(m: int) -> int:
+    if m < 2:
+        raise ValueError(f"bounds need m >= 2 balls, got {m}")
+    return int(m)
+
+
+def _check_n(n: int) -> int:
+    if n < 2:
+        raise ValueError(f"bounds need n >= 2, got {n}")
+    return int(n)
+
+
+def theorem1_bound(m: int, eps: float = 0.25) -> int:
+    """Theorem 1: τ(ε) = ⌈m · ln(m ε⁻¹)⌉ for scenario A."""
+    m = _check_m(m)
+    if not 0.0 < eps < 1.0:
+        raise ValueError(f"eps must be in (0, 1), got {eps}")
+    return int(math.ceil(m * math.log(m / eps)))
+
+
+def theorem1_lower_shape(m: int) -> float:
+    """The matching lower-bound shape m·ln m (tight up to lower order)."""
+    m = _check_m(m)
+    return m * math.log(m)
+
+
+def claim53_bound(n: int, m: int, eps: float = 0.25) -> int:
+    """Claim 5.3: τ(ε) = O(n·m²·ln ε⁻¹), with the lemma's constants.
+
+    Computed as Path Coupling case 2 with α = 1/n and
+    D = m − ⌈m/n⌉ (the paper's diameter bound on Ω_m).
+    """
+    n = _check_n(n)
+    m = _check_m(m)
+    D = max(1, m - math.ceil(m / n))
+    return path_coupling_bound_zero_rate(1.0 / n, D, eps)
+
+
+def claim53_improved_shape(m: int) -> float:
+    """The improved O(m²·ln²m)-type shape the paper defers to the full version."""
+    m = _check_m(m)
+    return m * m * math.log(m) ** 2
+
+
+def scenario_b_lower_shapes(n: int, m: int) -> tuple[float, float]:
+    """The noted scenario-B lower bounds: (Ω(n·m), Ω(m²)) shapes."""
+    return float(_check_n(n) * _check_m(m)), float(m) ** 2
+
+
+def corollary64_bound(n: int, eps: float = 0.25) -> int:
+    """Corollary 6.4: τ(ε) = O(n³(ln n + ln ε⁻¹)), with lemma constants.
+
+    Drift 1/C(n,2) on Γ, Γ-distance ≤ n ⇒ ρ = 1 − 2/(n²(n−1));
+    whole-space diameter D taken as n² (the paper's O(n²)).
+    """
+    n = _check_n(n)
+    pairs = n * (n - 1) / 2.0
+    rho = additive_to_multiplicative(1.0 / pairs, float(n))
+    return path_coupling_bound(rho, float(n * n), eps)
+
+
+def theorem2_bound(n: int) -> float:
+    """Theorem 2 shape: τ(1/4) = O(n² ln² n) (unit constant)."""
+    n = _check_n(n)
+    if n < 3:
+        return float(n * n)
+    return n * n * math.log(n) ** 2
+
+
+def edge_orientation_lower_shape(n: int) -> float:
+    """The noted Ω(n²) lower bound shape for the edge orientation chain."""
+    return float(_check_n(n)) ** 2
+
+
+def ajtai_previous_bound_shape(n: int) -> float:
+    """The previous recovery bound of Ajtai et al.: at least O(n⁵).
+
+    The paper's improvement factor (E4's headline) is this divided by
+    Theorem 2's n²·ln²n.
+    """
+    return float(_check_n(n)) ** 5
+
+
+@dataclass(frozen=True)
+class RecoveryBounds:
+    """All the paper's bounds evaluated for one configuration.
+
+    Build with :meth:`for_balls` or :meth:`for_edge_orientation`; fields
+    that do not apply are ``None``.
+    """
+
+    n: int
+    m: int | None
+    eps: float
+    scenario_a: int | None = None
+    scenario_a_lower: float | None = None
+    scenario_b: int | None = None
+    scenario_b_improved: float | None = None
+    scenario_b_lower_nm: float | None = None
+    scenario_b_lower_m2: float | None = None
+    edge_cor64: int | None = None
+    edge_thm2: float | None = None
+    edge_lower: float | None = None
+    edge_previous: float | None = None
+
+    @classmethod
+    def for_balls(cls, n: int, m: int, eps: float = 0.25) -> "RecoveryBounds":
+        """Bounds for the balls-into-bins processes at (n, m)."""
+        lo_nm, lo_m2 = scenario_b_lower_shapes(n, m)
+        return cls(
+            n=n,
+            m=m,
+            eps=eps,
+            scenario_a=theorem1_bound(m, eps),
+            scenario_a_lower=theorem1_lower_shape(m),
+            scenario_b=claim53_bound(n, m, eps),
+            scenario_b_improved=claim53_improved_shape(m),
+            scenario_b_lower_nm=lo_nm,
+            scenario_b_lower_m2=lo_m2,
+        )
+
+    @classmethod
+    def for_edge_orientation(cls, n: int, eps: float = 0.25) -> "RecoveryBounds":
+        """Bounds for the edge orientation chain at n vertices."""
+        return cls(
+            n=n,
+            m=None,
+            eps=eps,
+            edge_cor64=corollary64_bound(n, eps),
+            edge_thm2=theorem2_bound(n),
+            edge_lower=edge_orientation_lower_shape(n),
+            edge_previous=ajtai_previous_bound_shape(n),
+        )

@@ -1,0 +1,71 @@
+"""Exact transition kernel of the lazy edge orientation chain (§6).
+
+For small n we enumerate the reachable space Ψ and build the dense
+kernel of the paper's Markov chain 𝔐: with probability ½ nothing
+happens (the bit b of Remark 1), otherwise a uniform pair of distinct
+vertices is greedily oriented.  Since vertices are exchangeable, a pair
+of *values* (a, b) with a ≥ b is drawn with probability
+``c_a·c_b / C(n,2)`` (a ≠ b) or ``C(c_a, 2) / C(n,2)`` (a = b), where
+c_v counts vertices at discrepancy v.
+
+Used by E4/E9 to compute the exact mixing time of the chain and compare
+it against Corollary 6.4 / Theorem 2.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.edgeorient.state import enumerate_reachable_states
+from repro.markov.chain import FiniteMarkovChain
+
+__all__ = ["edge_orientation_kernel", "pair_transitions"]
+
+
+def pair_transitions(state: tuple[int, ...]) -> list[tuple[tuple[int, ...], float]]:
+    """Non-lazy successor states with probabilities (uniform distinct pair).
+
+    Returns (successor, probability) with probabilities summing to 1.
+    """
+    n = len(state)
+    total_pairs = n * (n - 1) / 2.0
+    counts = Counter(state)
+    values = sorted(counts, reverse=True)
+    out: list[tuple[tuple[int, ...], float]] = []
+    for ia, a in enumerate(values):
+        for b in values[ia:]:
+            if a == b:
+                ways = counts[a] * (counts[a] - 1) / 2.0
+            else:
+                ways = counts[a] * counts[b]
+            if ways <= 0:
+                continue
+            lst = list(state)
+            lst.remove(a)
+            lst.remove(b)
+            lst.extend([a - 1, b + 1])  # greedy: larger disc falls, smaller rises
+            succ = tuple(sorted(lst, reverse=True))
+            out.append((succ, ways / total_pairs))
+    return out
+
+
+def edge_orientation_kernel(n: int, *, lazy: bool = True) -> FiniteMarkovChain:
+    """Dense kernel of the (lazy) greedy chain on the reachable space Ψ.
+
+    ``lazy=False`` builds the original non-lazy protocol's kernel, which
+    is periodic for some n — the tests use it to machine-verify why the
+    paper's Remark 1 introduces the bit b.
+    """
+    states = enumerate_reachable_states(n)
+    index = {s: i for i, s in enumerate(states)}
+    size = len(states)
+    P = np.zeros((size, size), dtype=np.float64)
+    move_weight = 0.5 if lazy else 1.0
+    for i, s in enumerate(states):
+        if lazy:
+            P[i, i] += 0.5
+        for succ, p in pair_transitions(s):
+            P[i, index[succ]] += move_weight * p
+    return FiniteMarkovChain(states, P)

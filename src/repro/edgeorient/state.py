@@ -1,0 +1,161 @@
+"""State representations for the edge orientation problem (§6).
+
+Two equivalent representations are used:
+
+* a *discrepancy vector* d ∈ ℤⁿ with d_v = outdeg(v) − indeg(v) and
+  Σ d_v = 0 (each oriented edge contributes +1 and −1).  Vertices are
+  exchangeable, so the canonical state is the sorted (descending)
+  tuple;
+* the paper's *class vector* x, where x_λ counts the vertices whose
+  discrepancy equals the λ-th largest representable value.  Starting
+  from the empty graph, discrepancies stay within ±⌈(n−1)/2⌉ (Anderson
+  et al., "Disks, balls, and walls"), so classes λ = 1 … 2⌈(n−1)/2⌉+1
+  cover discrepancies C, C−1, …, −C with C = ⌈(n−1)/2⌉.  The zero
+  state x̂ has all n vertices in the middle class.
+
+The reachable space Ψ (all states reachable from x̂ under the lazy
+chain) is enumerated by BFS for exact analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+__all__ = [
+    "max_discrepancy_bound",
+    "num_classes",
+    "class_of_discrepancy",
+    "discrepancy_of_class",
+    "discrepancies_to_xvector",
+    "xvector_to_discrepancies",
+    "zero_state",
+    "canonical_discrepancies",
+    "greedy_neighbors",
+    "enumerate_reachable_states",
+    "unfairness",
+]
+
+
+def max_discrepancy_bound(n: int) -> int:
+    """C = ⌈(n−1)/2⌉, the discrepancy cap for states reachable from 0."""
+    if n < 2:
+        raise ValueError(f"edge orientation needs n >= 2 vertices, got {n}")
+    return (n - 1 + 1) // 2 if (n - 1) % 2 else (n - 1) // 2
+
+
+def num_classes(n: int) -> int:
+    """Number of discrepancy classes: 2C + 1."""
+    return 2 * max_discrepancy_bound(n) + 1
+
+
+def class_of_discrepancy(disc: int, n: int) -> int:
+    """1-based class index λ of a discrepancy value (λ=1 ⇔ disc = +C)."""
+    c = max_discrepancy_bound(n)
+    if abs(disc) > c:
+        raise ValueError(f"discrepancy {disc} outside reachable range ±{c}")
+    return c + 1 - disc
+
+
+def discrepancy_of_class(lam: int, n: int) -> int:
+    """Discrepancy value of 1-based class λ (inverse of class_of_discrepancy)."""
+    c = max_discrepancy_bound(n)
+    k = num_classes(n)
+    if not 1 <= lam <= k:
+        raise ValueError(f"class {lam} outside [1, {k}]")
+    return c + 1 - lam
+
+
+def canonical_discrepancies(d: Iterable[int]) -> tuple[int, ...]:
+    """Canonical (sorted descending) tuple of a discrepancy vector."""
+    arr = sorted((int(x) for x in d), reverse=True)
+    if sum(arr) != 0:
+        raise ValueError(f"discrepancies must sum to 0, got {sum(arr)}")
+    return tuple(arr)
+
+
+def discrepancies_to_xvector(d: Iterable[int], n: int) -> tuple[int, ...]:
+    """Convert a discrepancy vector to the paper's class-count vector x."""
+    k = num_classes(n)
+    x = [0] * k
+    count = 0
+    for disc in d:
+        x[class_of_discrepancy(int(disc), n) - 1] += 1
+        count += 1
+    if count != n:
+        raise ValueError(f"expected {n} vertices, got {count}")
+    return tuple(x)
+
+
+def xvector_to_discrepancies(x: Iterable[int], n: int) -> tuple[int, ...]:
+    """Convert a class-count vector back to the sorted discrepancy tuple."""
+    out: list[int] = []
+    for lam0, cnt in enumerate(x):
+        disc = discrepancy_of_class(lam0 + 1, n)
+        out.extend([disc] * int(cnt))
+    if len(out) != n:
+        raise ValueError(f"class counts sum to {len(out)}, expected {n}")
+    return tuple(out)  # classes are ordered by decreasing discrepancy
+
+
+def zero_state(n: int) -> tuple[int, ...]:
+    """The all-zero discrepancy state (the empty multigraph)."""
+    return (0,) * n
+
+
+def unfairness(d: Iterable[int]) -> int:
+    """max_v |outdeg(v) − indeg(v)| — the paper's fairness measure."""
+    return max(abs(int(x)) for x in d)
+
+
+def greedy_neighbors(state: tuple[int, ...]) -> list[tuple[int, ...]]:
+    """All states reachable in one non-lazy step from a canonical state.
+
+    A step picks two distinct vertices and moves the higher-discrepancy
+    one down by 1 and the lower one up by 1 (ties: one up, one down).
+    Since vertices are exchangeable only the (value_a, value_b) pair
+    matters; we return the distinct successor states.
+    """
+    n = len(state)
+    values = sorted(set(state), reverse=True)
+    succs: set[tuple[int, ...]] = set()
+    counts = {v: state.count(v) for v in values}
+    for ia, a in enumerate(values):
+        for b in values[ia:]:
+            if a == b and counts[a] < 2:
+                continue
+            # a >= b: a's vertex gets -1, b's gets +1.
+            lst = list(state)
+            lst.remove(a)
+            lst.remove(b)
+            lst.extend([a - 1, b + 1])
+            succs.add(tuple(sorted(lst, reverse=True)))
+    return sorted(succs, reverse=True)
+
+
+def enumerate_reachable_states(n: int) -> list[tuple[int, ...]]:
+    """BFS enumeration of Ψ: canonical states reachable from the zero state.
+
+    Exponential in n — intended for the exact analysis at n ≤ 6 or so.
+    Also machine-checks the Anderson et al. bound: every reachable
+    discrepancy lies within ±⌈(n−1)/2⌉.
+    """
+    start = zero_state(n)
+    seen = {start}
+    frontier = [start]
+    cap = max_discrepancy_bound(n)
+    while frontier:
+        nxt: list[tuple[int, ...]] = []
+        for s in frontier:
+            for t in greedy_neighbors(s):
+                if t not in seen:
+                    if max(abs(v) for v in t) > cap:
+                        raise AssertionError(
+                            f"reachable state {t} exceeds the ±{cap} bound "
+                            "(contradicts Anderson et al.)"
+                        )
+                    seen.add(t)
+                    nxt.append(t)
+        frontier = nxt
+    return sorted(seen, reverse=True)

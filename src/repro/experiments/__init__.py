@@ -1,0 +1,30 @@
+"""Experiment drivers: one module per paper claim (see DESIGN.md §4).
+
+Every experiment module exposes ``run(scale='smoke', seed=0)`` returning
+an :class:`repro.experiments.base.ExperimentResult` whose tables are the
+paper-style rows recorded in EXPERIMENTS.md.  ``scale`` selects a
+parameter preset: ``smoke`` (seconds — used by the test suite and
+benches), ``paper`` (minutes — the sizes EXPERIMENTS.md quotes).
+
+Use :func:`repro.experiments.registry.get_experiment` /
+:func:`repro.experiments.registry.run_all` to drive them
+programmatically, or run a module directly::
+
+    python -m repro.experiments.e01_theorem1_scenario_a --scale paper
+"""
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    get_experiment,
+    run_all,
+    run_experiment,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "get_experiment",
+    "run_all",
+    "run_experiment",
+]

@@ -1,0 +1,58 @@
+"""Common experiment infrastructure: results, scales, CLI driver."""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.utils.tables import Table
+
+__all__ = ["ExperimentResult", "Scale", "check_scale", "main_for"]
+
+Scale = str
+_SCALES = ("smoke", "paper")
+
+
+def check_scale(scale: str) -> str:
+    """Validate a scale preset name."""
+    if scale not in _SCALES:
+        raise ValueError(f"scale must be one of {_SCALES}, got {scale!r}")
+    return scale
+
+
+@dataclass
+class ExperimentResult:
+    """The output of one experiment run.
+
+    ``verdict`` is a one-line human summary ("q95 within Theorem 1 bound
+    at every size"); ``data`` holds the raw numbers for tests and
+    EXPERIMENTS.md; ``tables`` render the paper-style rows.
+    """
+
+    experiment_id: str
+    title: str
+    scale: str
+    verdict: str
+    tables: list[Table] = field(default_factory=list)
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Full plain-text report."""
+        parts = [f"[{self.experiment_id}] {self.title} (scale={self.scale})"]
+        for t in self.tables:
+            parts.append(t.render())
+        parts.append(f"verdict: {self.verdict}")
+        return "\n\n".join(parts)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def main_for(run: Callable[..., ExperimentResult]) -> None:
+    """CLI entry point shared by the experiment modules' __main__ blocks."""
+    parser = argparse.ArgumentParser(description=run.__doc__)
+    parser.add_argument("--scale", default="smoke", choices=_SCALES)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+    print(run(scale=args.scale, seed=args.seed).render())

@@ -1,0 +1,86 @@
+"""Registry of all experiments E1–E15 (see DESIGN.md §4)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments import (
+    e01_theorem1_scenario_a,
+    e02_theorem1_tightness,
+    e03_claim53_scenario_b,
+    e04_edge_orientation,
+    e05_static_maxload,
+    e06_fluid_vs_sim,
+    e07_crash_recovery,
+    e08_unfairness_limit,
+    e09_exact_small_mixing,
+    e10_open_systems,
+    e11_adaptive_adap,
+    e12_scenario_b_lower,
+    e13_carpool_fairness,
+    e14_relocation,
+    e15_custom_removal,
+)
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "get_experiment", "run_experiment", "run_all"]
+
+_MODULES = (
+    e01_theorem1_scenario_a,
+    e02_theorem1_tightness,
+    e03_claim53_scenario_b,
+    e04_edge_orientation,
+    e05_static_maxload,
+    e06_fluid_vs_sim,
+    e07_crash_recovery,
+    e08_unfairness_limit,
+    e09_exact_small_mixing,
+    e10_open_systems,
+    e11_adaptive_adap,
+    e12_scenario_b_lower,
+    e13_carpool_fairness,
+    e14_relocation,
+    e15_custom_removal,
+)
+
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    mod.EXPERIMENT_ID: mod.run for mod in _MODULES
+}
+
+TITLES: dict[str, str] = {mod.EXPERIMENT_ID: mod.TITLE for mod in _MODULES}
+
+
+def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
+    """Return the runner for an experiment id like 'E4' (KeyError if unknown)."""
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}")
+
+
+def run_experiment(
+    experiment_id: str, scale: str = "smoke", seed: int = 0
+) -> ExperimentResult:
+    """Run one experiment by id."""
+    return get_experiment(experiment_id)(scale=scale, seed=seed)
+
+
+def run_all(scale: str = "smoke", seed: int = 0) -> dict[str, ExperimentResult]:
+    """Run every registered experiment; returns id → result."""
+    return {
+        eid: EXPERIMENTS[eid](scale=scale, seed=seed)
+        for eid in sorted(EXPERIMENTS, key=lambda e: int(e[1:]))
+    }
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description="Run all experiments")
+    parser.add_argument("--scale", default="smoke", choices=("smoke", "paper"))
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+    for eid, result in run_all(scale=args.scale, seed=args.seed).items():
+        print(result.render())
+        print()

@@ -1,0 +1,79 @@
+"""Fixed points of the dynamic fluid systems and max-load predictions.
+
+Setting ds_i/dt = 0 in the dynamic systems of
+:mod:`repro.fluid.dynamic_ode` gives the stationary tail profile.  For
+scenario B with c = 1 the fixed point famously satisfies
+s_i ≈ s_{i−1}^d (up to the s_1 normalization), i.e. the doubly
+exponential decay s_i ≈ s_1^{(d^i − 1)/(d − 1)} behind the
+ln ln n / ln d maximum load.  We compute fixed points numerically by
+damped fixed-point iteration on the balance equations (robust where a
+generic root-finder struggles with the near-degenerate tail).
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+from repro.fluid.dynamic_ode import dynamic_rhs
+from repro.utils.validation import check_positive_int
+
+__all__ = ["fixed_point", "predicted_max_load_from_tail", "doubly_exponential_tail"]
+
+
+def fixed_point(
+    d: int,
+    c: float = 1.0,
+    *,
+    scenario: Literal["a", "b"] = "a",
+    levels: int = 60,
+    tol: float = 1e-9,
+    t_final: float = 2000.0,
+) -> np.ndarray:
+    """Stationary tail (s_0 = 1, s_1, …) of the dynamic fluid system.
+
+    Computed by integrating the (globally attracting) dynamics to large
+    time with a stiff solver — more robust than damped iteration, whose
+    explicit steps are unstable for scenario A's i-growing removal
+    rates.  The residual ||rhs||_∞ at the endpoint is verified ≤ *tol*.
+    """
+    from repro.fluid.dynamic_ode import solve_dynamic_fluid
+
+    d = check_positive_int("d", d)
+    sol = solve_dynamic_fluid(
+        d, c, scenario=scenario, t_final=t_final, levels=levels
+    )
+    s = np.clip(sol.trajectory[-1], 0.0, 1.0)
+    residual = float(np.abs(dynamic_rhs(s, d, c, scenario)).max())
+    if residual > tol:
+        raise RuntimeError(
+            f"fluid dynamics not stationary by t={t_final} "
+            f"(residual {residual:.2e} > {tol})"
+        )
+    return np.concatenate(([1.0], s))
+
+
+def predicted_max_load_from_tail(s: np.ndarray, n: int) -> int:
+    """Largest i with s_i ≥ 1/n: the finite-n max-load prediction."""
+    n = check_positive_int("n", n)
+    idx = np.nonzero(np.asarray(s) >= 1.0 / n)[0]
+    return int(idx.max()) if idx.size else 0
+
+
+def doubly_exponential_tail(d: int, s1: float, levels: int = 30) -> np.ndarray:
+    """The idealized tail s_i = s_1^{(d^i − 1)/(d − 1)} (d ≥ 2).
+
+    The closed-form shape the scenario-B fixed point approaches; used
+    as a reference column in E6.
+    """
+    d = check_positive_int("d", d)
+    if d < 2:
+        raise ValueError("the doubly exponential form needs d >= 2")
+    if not 0.0 < s1 <= 1.0:
+        raise ValueError(f"s1 must be in (0, 1], got {s1}")
+    i = np.arange(levels + 1, dtype=np.float64)
+    expo = (d**i - 1.0) / (d - 1.0)
+    out = s1**expo
+    out[0] = 1.0
+    return out

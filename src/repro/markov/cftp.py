@@ -1,0 +1,171 @@
+"""Coupling From The Past: perfect sampling from the stationary law.
+
+Propp & Wilson's CFTP turns a *grand coupling* (one shared random map
+applied to every state simultaneously) into exact samples from π — no
+mixing-time knowledge required.  We run it on the small exact chains:
+the shared-randomness update of :mod:`repro.coupling.grand` (quantile
+removal + shared insertion source) is applied to *all* states of Ω_m
+from times −T, −2T, … until the maps compose to a constant function;
+the constant value is an exact stationary draw.
+
+Used in the tests to cross-validate :func:`repro.markov.stationary
+.stationary_distribution` with samples produced by a *completely
+different* mechanism, and as a live demonstration that the paper's
+coupling machinery supports perfect simulation, not just mixing bounds.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Literal
+
+import numpy as np
+
+from repro.balls.distributions import quantile_removal_a, quantile_removal_b
+from repro.balls.load_vector import ominus, oplus
+from repro.balls.rules import SchedulingRule
+from repro.utils.partitions import all_partitions
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = ["GrandUpdate", "cftp_sample", "cftp_samples", "monotone_cftp_sample"]
+
+State = tuple[int, ...]
+GrandUpdate = Callable[[State, np.ndarray], State]
+# A grand update maps (state, randomness-vector) -> state; the same
+# randomness drives every state (that's what makes it 'grand').
+
+
+def make_grand_update(
+    rule: SchedulingRule,
+    n: int,
+    *,
+    scenario: Literal["a", "b"] = "a",
+) -> tuple[GrandUpdate, int]:
+    """Build the shared-randomness one-phase update and its randomness size.
+
+    The randomness vector is [u_remove, rs_0 … rs_{L−1}-uniforms] with L
+    the worst-case source length for the rule over Ω_m (for ABKU[d],
+    L = d; ADAP needs the caller to ensure a generous L).
+    """
+    from repro.balls.rules import ABKURule
+
+    if isinstance(rule, ABKURule):
+        length = rule.d
+    else:
+        # Generous cap: χ at the max conceivable load is unknown here;
+        # callers with ADAP rules should wrap their own update.
+        raise TypeError("make_grand_update supports ABKU[d]; wrap ADAP manually")
+
+    quantile = quantile_removal_a if scenario == "a" else quantile_removal_b
+
+    def update(state: State, randomness: np.ndarray) -> State:
+        v = np.array(state, dtype=np.int64)
+        i = quantile(v, float(randomness[0]))
+        v = ominus(v, i)
+        rs = (randomness[1:] * n).astype(np.int64)
+        rs = np.minimum(rs, n - 1)
+        v = oplus(v, rule.select_from_source(v, rs))
+        return tuple(int(x) for x in v)
+
+    return update, 1 + length
+
+
+def cftp_sample(
+    rule: SchedulingRule,
+    n: int,
+    m: int,
+    *,
+    scenario: Literal["a", "b"] = "a",
+    seed: SeedLike = None,
+    max_doublings: int = 24,
+) -> State:
+    """One exact stationary sample of the (n, m) chain via CFTP.
+
+    Doubles the lookback T until composing the grand updates from −T to
+    0 is constant over all of Ω_m.  Crucially the randomness for times
+    −1, −2, … is *fixed across doublings* (fresh randomness is appended
+    only for the older times), which is what makes the output exact.
+    """
+    rng = as_generator(seed)
+    update, rand_size = make_grand_update(rule, n, scenario=scenario)
+    states = all_partitions(m, n)
+    # randomness[k] drives the step at time −(k+1).
+    randomness: list[np.ndarray] = []
+    T = 1
+    for _ in range(max_doublings):
+        while len(randomness) < T:
+            randomness.append(rng.random(rand_size))
+        current = {s: s for s in states}
+        # Apply from the oldest time forward: time −T uses randomness[T−1].
+        for k in range(T - 1, -1, -1):
+            r = randomness[k]
+            current = {s0: update(s, r) for s0, s in current.items()}
+        values = set(current.values())
+        if len(values) == 1:
+            return next(iter(values))
+        T *= 2
+    raise RuntimeError(
+        f"CFTP did not coalesce within lookback {T // 2} "
+        f"(n={n}, m={m}, scenario={scenario!r})"
+    )
+
+
+def monotone_cftp_sample(
+    rule: SchedulingRule,
+    n: int,
+    m: int,
+    *,
+    seed: SeedLike = None,
+    max_doublings: int = 40,
+) -> State:
+    """Perfect scenario-A sample via *monotone* CFTP (two chains only).
+
+    The scenario-A grand phase is monotone for the majorization order
+    (machine-checked in :mod:`repro.balls.majorization`), whose extremes
+    on Ω_m are the crash state and the balanced state.  Tracking only
+    those two sandwich chains makes CFTP cost O(T) per doubling instead
+    of O(T·|Ω_m|) — perfect sampling at n, m in the hundreds.
+
+    Scenario B is deliberately unsupported: its removal step is not
+    monotone, so the sandwich argument would be unsound.
+    """
+    from repro.balls.majorization import bottom_state, top_state
+
+    rng = as_generator(seed)
+    update, rand_size = make_grand_update(rule, n, scenario="a")
+    top = tuple(int(x) for x in top_state(m, n))
+    bottom = tuple(int(x) for x in bottom_state(m, n))
+    randomness: list[np.ndarray] = []
+    T = 1
+    for _ in range(max_doublings):
+        while len(randomness) < T:
+            randomness.append(rng.random(rand_size))
+        hi, lo = top, bottom
+        for k in range(T - 1, -1, -1):
+            r = randomness[k]
+            hi = update(hi, r)
+            lo = update(lo, r)
+        if hi == lo:
+            return hi
+        T *= 2
+    raise RuntimeError(
+        f"monotone CFTP did not coalesce within lookback {T // 2} "
+        f"(n={n}, m={m})"
+    )
+
+
+def cftp_samples(
+    rule: SchedulingRule,
+    n: int,
+    m: int,
+    count: int,
+    *,
+    scenario: Literal["a", "b"] = "a",
+    seed: SeedLike = None,
+) -> list[State]:
+    """Independent perfect samples (one CFTP run each)."""
+    from repro.utils.rng import spawn_generators
+
+    return [
+        cftp_sample(rule, n, m, scenario=scenario, seed=g)
+        for g in spawn_generators(seed, count)
+    ]

@@ -1,0 +1,83 @@
+"""The :class:`FiniteMarkovChain` container.
+
+A dense row-stochastic matrix over an explicit list of hashable states.
+Everything downstream (stationary distributions, mixing, spectra,
+ergodicity) operates on this container, so exact kernels built in
+:mod:`repro.markov.exact` and :mod:`repro.edgeorient.chain` share one
+analysis path.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+import numpy as np
+
+__all__ = ["FiniteMarkovChain"]
+
+
+class FiniteMarkovChain:
+    """A finite discrete-time Markov chain with explicit states.
+
+    Parameters
+    ----------
+    states:
+        Hashable state labels; row/column *i* of *P* corresponds to
+        ``states[i]``.
+    P:
+        Row-stochastic transition matrix (validated to tolerance 1e-10).
+    """
+
+    def __init__(self, states: Sequence[Hashable], P: np.ndarray):
+        P = np.asarray(P, dtype=np.float64)
+        if P.ndim != 2 or P.shape[0] != P.shape[1]:
+            raise ValueError(f"P must be square, got shape {P.shape}")
+        if len(states) != P.shape[0]:
+            raise ValueError(
+                f"{len(states)} states but P is {P.shape[0]}x{P.shape[1]}"
+            )
+        if (P < -1e-12).any():
+            raise ValueError("P has negative entries")
+        rows = P.sum(axis=1)
+        if not np.allclose(rows, 1.0, atol=1e-10):
+            bad = int(np.argmax(np.abs(rows - 1.0)))
+            raise ValueError(
+                f"P is not row-stochastic: row {bad} sums to {rows[bad]!r}"
+            )
+        self.states = list(states)
+        self.index = {s: i for i, s in enumerate(self.states)}
+        if len(self.index) != len(self.states):
+            raise ValueError("duplicate states")
+        self.P = P
+
+    @property
+    def size(self) -> int:
+        """Number of states."""
+        return len(self.states)
+
+    def state_of(self, i: int) -> Hashable:
+        """State label of row *i*."""
+        return self.states[i]
+
+    def index_of(self, state: Hashable) -> int:
+        """Row index of *state* (KeyError if unknown)."""
+        return self.index[state]
+
+    def step_distribution(self, dist: np.ndarray) -> np.ndarray:
+        """One step of the chain on a distribution row-vector."""
+        return dist @ self.P
+
+    def power(self, t: int) -> np.ndarray:
+        """P^t by repeated squaring."""
+        if t < 0:
+            raise ValueError(f"t must be >= 0, got {t}")
+        return np.linalg.matrix_power(self.P, t)
+
+    def point_mass(self, state: Hashable) -> np.ndarray:
+        """Dirac distribution at *state*."""
+        d = np.zeros(self.size)
+        d[self.index_of(state)] = 1.0
+        return d
+
+    def __repr__(self) -> str:
+        return f"FiniteMarkovChain(size={self.size})"

@@ -1,0 +1,76 @@
+"""Exact expected hitting times.
+
+The recovery measurements of E7 time the first entry into the 'typical'
+set {max load ≤ L}.  On small exact chains the same quantity is a
+linear-algebra exercise: with A the target set and Q the kernel
+restricted to the complement,
+
+    E_x[T_A] solves (I − Q)·t = 1  on  x ∉ A.
+
+This pins the simulators' measured recovery times against exact values
+(integration tests) and gives exact worst-start recovery columns for
+small instances.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Sequence
+
+import numpy as np
+
+from repro.markov.chain import FiniteMarkovChain
+
+__all__ = ["expected_hitting_times", "worst_start_hitting_time", "max_load_target_set"]
+
+
+def expected_hitting_times(
+    chain: FiniteMarkovChain,
+    target: Sequence[Hashable],
+) -> dict[Hashable, float]:
+    """E_x[T_target] for every state x (0 on the target itself).
+
+    Raises if the target is empty or the linear system is singular
+    (which for an ergodic chain cannot happen unless target is empty).
+    """
+    target_idx = {chain.index_of(s) for s in target}
+    if not target_idx:
+        raise ValueError("target set must be non-empty")
+    others = [i for i in range(chain.size) if i not in target_idx]
+    out: dict[Hashable, float] = {chain.state_of(i): 0.0 for i in target_idx}
+    if not others:
+        return out
+    pos = {i: k for k, i in enumerate(others)}
+    Q = np.zeros((len(others), len(others)))
+    for i in others:
+        for j, p in enumerate(chain.P[i]):
+            if p > 0 and j in pos:
+                Q[pos[i], pos[j]] = p
+    t = np.linalg.solve(np.eye(len(others)) - Q, np.ones(len(others)))
+    for i in others:
+        out[chain.state_of(i)] = float(t[pos[i]])
+    return out
+
+
+def max_load_target_set(
+    chain: FiniteMarkovChain, max_load: int
+) -> list[Hashable]:
+    """States of a load-vector chain whose max load is ≤ *max_load*."""
+    return [s for s in chain.states if s[0] <= max_load]
+
+
+def worst_start_hitting_time(
+    chain: FiniteMarkovChain,
+    target: Sequence[Hashable],
+    *,
+    start_filter: Callable[[Hashable], bool] | None = None,
+) -> tuple[Hashable, float]:
+    """(argmax state, value) of E_x[T_target], optionally over a filter."""
+    times = expected_hitting_times(chain, target)
+    candidates = {
+        s: t for s, t in times.items()
+        if start_filter is None or start_filter(s)
+    }
+    if not candidates:
+        raise ValueError("no start states after filtering")
+    worst = max(candidates, key=lambda s: candidates[s])
+    return worst, candidates[worst]

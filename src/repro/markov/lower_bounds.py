@@ -1,0 +1,89 @@
+"""Rigorous mixing-time lower bounds.
+
+The paper states lower bounds (Theorem 1 tightness, Ω(n·m), Ω(m²),
+Ω(n²)) without proofs; these two certified methods let the tests and
+E12 *prove* per-instance lower bounds on τ(ε):
+
+* **relaxation bound** — for any ergodic chain,
+  τ(ε) ≥ (t_rel − 1)·ln(1/(2ε)): the slowest eigenmode decays like
+  λ*^t, and its TV shadow cannot die faster (Levin–Peres Thm 12.5);
+* **reachability bound** — if within t steps the support digraph from
+  x cannot reach a set of stationary mass > 1 − ε, then
+  d(t) ≥ π(unreached) > ε, so τ(ε) exceeds t.  Computed by BFS layers
+  from the worst start; for the crash state this formalizes the "you
+  must move Δ(crash, typical) balls one phase at a time" drain argument.
+
+Both are *lower* bounds on the very τ(ε) that
+:func:`repro.markov.mixing.exact_mixing_time` computes, so the tests can
+sandwich: lower ≤ exact τ ≤ paper bound.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.markov.chain import FiniteMarkovChain
+from repro.markov.spectral import relaxation_time
+from repro.markov.stationary import stationary_distribution
+
+__all__ = ["relaxation_lower_bound", "reachability_lower_bound"]
+
+
+def relaxation_lower_bound(chain: FiniteMarkovChain, eps: float = 0.25) -> int:
+    """τ(ε) ≥ ⌈(t_rel − 1)·ln(1/(2ε))⌉ (0 if the formula is vacuous).
+
+    Requires ε < 1/2 (the bound is vacuous otherwise).
+    """
+    if not 0.0 < eps < 0.5:
+        raise ValueError(f"eps must be in (0, 0.5), got {eps}")
+    t_rel = relaxation_time(chain)
+    if t_rel == float("inf"):
+        raise ValueError("chain is periodic; tau is undefined")
+    val = (t_rel - 1.0) * math.log(1.0 / (2.0 * eps))
+    return max(0, int(math.floor(val)))
+
+
+def reachability_lower_bound(
+    chain: FiniteMarkovChain,
+    eps: float = 0.25,
+    *,
+    pi: np.ndarray | None = None,
+) -> int:
+    """The BFS lower bound: largest t with some start missing > ε of π.
+
+    For each start x, grow the reachable set layer by layer; while the
+    unreached stationary mass exceeds ε, the worst-case TV at that time
+    is > ε, hence τ(ε) > t.  Returns max over starts of (first t where
+    the reached mass ≥ 1 − ε), which is a valid lower bound on τ(ε).
+    """
+    if not 0.0 < eps < 1.0:
+        raise ValueError(f"eps must be in (0, 1), got {eps}")
+    if pi is None:
+        pi = stationary_distribution(chain)
+    size = chain.size
+    neighbors: list[np.ndarray] = [
+        np.nonzero(chain.P[i] > 0)[0] for i in range(size)
+    ]
+    best = 0
+    for start in range(size):
+        reached = np.zeros(size, dtype=bool)
+        reached[start] = True
+        frontier = [start]
+        t = 0
+        mass = float(pi[start])
+        while mass < 1.0 - eps:
+            nxt = []
+            for i in frontier:
+                for j in neighbors[i]:
+                    if not reached[j]:
+                        reached[j] = True
+                        mass += float(pi[j])
+                        nxt.append(int(j))
+            frontier = nxt
+            t += 1
+            if not frontier and mass < 1.0 - eps:
+                raise ValueError("chain is reducible; tau is undefined")
+        best = max(best, t)
+    return best

@@ -1,0 +1,54 @@
+"""Reversibility (detailed balance) checks.
+
+A chain is reversible iff π(x)P(x,y) = π(y)P(y,x) for all x, y.  The
+spectral mixing machinery is sharpest for reversible chains, so it is
+worth *knowing* whether the paper's chains are reversible — and they
+generally are not: e.g. I_A-ABKU[2] violates detailed balance already
+at n = m = 3 (the tests exhibit the witness pair).  The relaxation-time
+columns in E9 are therefore diagnostics, not two-sided bounds, which is
+exactly how the experiments use them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.markov.chain import FiniteMarkovChain
+from repro.markov.stationary import stationary_distribution
+
+__all__ = ["detailed_balance_residual", "is_reversible", "reversibilization"]
+
+
+def detailed_balance_residual(
+    chain: FiniteMarkovChain, pi: np.ndarray | None = None
+) -> tuple[float, tuple[int, int]]:
+    """(max |π(x)P(x,y) − π(y)P(y,x)|, witness index pair)."""
+    if pi is None:
+        pi = stationary_distribution(chain)
+    F = pi[:, None] * chain.P
+    R = np.abs(F - F.T)
+    idx = int(np.argmax(R))
+    i, j = divmod(idx, chain.size)
+    return float(R[i, j]), (i, j)
+
+
+def is_reversible(
+    chain: FiniteMarkovChain, *, tol: float = 1e-10
+) -> bool:
+    """True iff detailed balance holds up to *tol*."""
+    residual, _ = detailed_balance_residual(chain)
+    return residual <= tol
+
+
+def reversibilization(chain: FiniteMarkovChain) -> FiniteMarkovChain:
+    """The additive reversibilization (P + P*)/2 with P* the time reversal.
+
+    P*(x, y) = π(y)P(y, x)/π(x).  The result is reversible with the
+    same stationary distribution; its spectral gap lower-bounds mixing
+    for the original chain in the standard way.
+    """
+    pi = stationary_distribution(chain)
+    if (pi <= 0).any():
+        raise ValueError("reversibilization needs strictly positive pi")
+    P_star = (pi[None, :] * chain.P.T) / pi[:, None]
+    return FiniteMarkovChain(list(chain.states), 0.5 * (chain.P + P_star))

@@ -1,0 +1,70 @@
+"""Stationary distribution solvers.
+
+An ergodic chain has a unique stationary π with π P = π (§3 of the
+paper).  We solve the singular linear system directly (replacing one
+equation with the normalization Σπ = 1), with a power-iteration fallback
+for ill-conditioned inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.markov.chain import FiniteMarkovChain
+
+__all__ = ["stationary_distribution", "power_iteration"]
+
+
+def stationary_distribution(chain: FiniteMarkovChain, *, tol: float = 1e-12) -> np.ndarray:
+    """Solve π P = π, Σπ = 1 exactly via a linear solve.
+
+    Raises ``ValueError`` if the solution has a significantly negative
+    entry (which signals a reducible or otherwise degenerate chain).
+    """
+    P = chain.P
+    nstates = chain.size
+    # (P^T - I) π^T = 0 with the last row replaced by the normalization.
+    A = P.T - np.eye(nstates)
+    A[-1, :] = 1.0
+    b = np.zeros(nstates)
+    b[-1] = 1.0
+    try:
+        pi = np.linalg.solve(A, b)
+    except np.linalg.LinAlgError:
+        return power_iteration(chain, tol=tol)
+    if pi.min() < -1e-8:
+        raise ValueError(
+            "stationary solve produced negative mass "
+            f"(min {pi.min():.3e}); is the chain irreducible?"
+        )
+    pi = np.clip(pi, 0.0, None)
+    return pi / pi.sum()
+
+
+def power_iteration(
+    chain: FiniteMarkovChain,
+    *,
+    tol: float = 1e-12,
+    max_iters: int = 1_000_000,
+) -> np.ndarray:
+    """Stationary distribution via repeated application of P.
+
+    Converges for ergodic chains; used as a fallback and as an
+    independent cross-check in tests.
+    """
+    pi = np.full(chain.size, 1.0 / chain.size)
+    for _ in range(max_iters):
+        nxt = pi @ chain.P
+        if np.abs(nxt - pi).sum() < tol:
+            return nxt / nxt.sum()
+        pi = nxt
+    raise RuntimeError(f"power iteration did not converge in {max_iters} iters")
+
+
+def expected_stat(
+    chain: FiniteMarkovChain,
+    pi: np.ndarray,
+    stat,
+) -> float:
+    """E_π[stat(state)] for a state-wise statistic (e.g. max load)."""
+    return float(sum(p * stat(s) for s, p in zip(chain.states, pi)))

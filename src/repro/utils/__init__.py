@@ -1,0 +1,33 @@
+"""Shared substrate utilities.
+
+This subpackage holds the non-domain-specific machinery the reproduction
+leans on: reproducible parallel RNG streams (:mod:`repro.utils.rng`), a
+Fenwick tree for O(log n) weighted sampling (:mod:`repro.utils.fenwick`),
+enumeration of integer partitions / normalized load vectors
+(:mod:`repro.utils.partitions`), plain-text result tables
+(:mod:`repro.utils.tables`), argument validation helpers
+(:mod:`repro.utils.validation`) and a tiny multiprocessing map
+(:mod:`repro.utils.parallel`).
+"""
+
+from repro.utils.fenwick import FenwickTree
+from repro.utils.partitions import (
+    iter_partitions,
+    num_partitions,
+    partition_index,
+)
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.tables import Table
+from repro.utils.validation import check_positive_int, check_probability
+
+__all__ = [
+    "FenwickTree",
+    "Table",
+    "as_generator",
+    "check_positive_int",
+    "check_probability",
+    "iter_partitions",
+    "num_partitions",
+    "partition_index",
+    "spawn_generators",
+]

@@ -1,0 +1,78 @@
+"""Enumeration of normalized load vectors (integer partitions).
+
+The state space Ω_m of the paper (§3.1) is the set of non-negative,
+non-increasing n-vectors summing to m — i.e. partitions of m into at most
+n parts, zero-padded to length n.  Exact Markov-chain analysis
+(:mod:`repro.markov.exact`) enumerates this space for small (n, m).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterator
+
+import numpy as np
+
+__all__ = [
+    "iter_partitions",
+    "num_partitions",
+    "partition_index",
+    "all_partitions",
+]
+
+
+def iter_partitions(m: int, n: int) -> Iterator[tuple[int, ...]]:
+    """Yield all partitions of *m* into at most *n* parts, zero-padded.
+
+    Vectors are yielded in lexicographically decreasing order as
+    non-increasing tuples of length *n*, e.g. ``iter_partitions(3, 3)``
+    yields ``(3,0,0), (2,1,0), (1,1,1)``.
+    """
+    if m < 0:
+        raise ValueError(f"m must be >= 0, got {m}")
+    if n <= 0:
+        raise ValueError(f"n must be >= 1, got {n}")
+
+    def rec(remaining: int, max_part: int, slots: int) -> Iterator[tuple[int, ...]]:
+        if remaining == 0:
+            yield (0,) * slots
+            return
+        if slots == 0 or max_part * slots < remaining:
+            return
+        first_hi = min(max_part, remaining)
+        for first in range(first_hi, 0, -1):
+            for rest in rec(remaining - first, first, slots - 1):
+                yield (first,) + rest
+
+    yield from rec(m, m, n)
+
+
+@lru_cache(maxsize=None)
+def num_partitions(m: int, n: int) -> int:
+    """Count partitions of *m* into at most *n* parts (|Ω_m| for n bins).
+
+    Uses the recurrence p(m, n) = p(m, n-1) + p(m-n, n).
+    """
+    if m < 0:
+        return 0
+    if m == 0:
+        return 1
+    if n <= 0:
+        return 0
+    return num_partitions(m, n - 1) + num_partitions(m - n, n)
+
+
+def all_partitions(m: int, n: int) -> list[tuple[int, ...]]:
+    """Materialize :func:`iter_partitions` as a list (the state ordering)."""
+    return list(iter_partitions(m, n))
+
+
+def partition_index(states: list[tuple[int, ...]]) -> dict[tuple[int, ...], int]:
+    """Build the state → row-index map used by exact transition kernels."""
+    return {s: i for i, s in enumerate(states)}
+
+
+def normalize(v) -> tuple[int, ...]:
+    """Return the normalized (sorted non-increasing) tuple of *v* (§3.1)."""
+    arr = np.asarray(v)
+    return tuple(int(x) for x in np.sort(arr)[::-1])

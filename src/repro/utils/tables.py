@@ -1,0 +1,76 @@
+"""Plain-text tables for experiment and benchmark reports.
+
+The benchmark harness prints paper-style rows (parameter sweeps with
+measured vs. predicted columns).  :class:`Table` is a tiny dependency-free
+formatter producing aligned monospace output suitable for logs and for
+EXPERIMENTS.md transcription.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+__all__ = ["Table", "format_si"]
+
+
+def format_si(x: float, digits: int = 3) -> str:
+    """Format *x* compactly with SI-ish magnitude (e.g. ``1.23e+06``)."""
+    if x == 0:
+        return "0"
+    ax = abs(x)
+    if 1e-3 <= ax < 1e6:
+        if float(x).is_integer() and ax < 1e6:
+            return str(int(x))
+        return f"{x:.{digits}g}"
+    return f"{x:.{digits}e}"
+
+
+class Table:
+    """Column-aligned plain-text table.
+
+    >>> t = Table(["n", "measured", "bound"])
+    >>> t.add_row([16, 44.2, 64])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, columns: Sequence[str], title: str | None = None):
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.columns = [str(c) for c in columns]
+        self.title = title
+        self.rows: list[list[str]] = []
+
+    def add_row(self, values: Iterable[Any]) -> None:
+        """Append a row; values are stringified (floats via :func:`format_si`)."""
+        row = []
+        for v in values:
+            if isinstance(v, bool):
+                row.append(str(v))
+            elif isinstance(v, float):
+                row.append(format_si(v))
+            else:
+                row.append(str(v))
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        """Return the formatted table as a string."""
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(self.columns, widths)))
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

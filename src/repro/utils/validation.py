@@ -1,0 +1,71 @@
+"""Small argument-validation helpers shared across the library.
+
+Validation failures raise ``ValueError``/``TypeError`` with the offending
+name and value so experiment scripts fail loudly at configuration time,
+not deep inside a million-step simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "check_positive_int",
+    "check_nonnegative_int",
+    "check_probability",
+    "check_load_vector",
+]
+
+
+def check_positive_int(name: str, value: Any) -> int:
+    """Return *value* as int, requiring it to be a positive integer."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    value = int(value)
+    if value <= 0:
+        raise ValueError(f"{name} must be >= 1, got {value}")
+    return value
+
+
+def check_nonnegative_int(name: str, value: Any) -> int:
+    """Return *value* as int, requiring it to be a non-negative integer."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    value = int(value)
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_probability(name: str, value: Any) -> float:
+    """Return *value* as float, requiring 0 <= value <= 1."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def check_load_vector(v: Any, *, normalized: bool = False) -> np.ndarray:
+    """Validate and return *v* as an int64 load vector.
+
+    Requires non-negative integer entries; with ``normalized=True`` also
+    requires the non-increasing ordering of §3.1.
+    """
+    arr = np.asarray(v)
+    if arr.ndim != 1:
+        raise ValueError(f"load vector must be 1-D, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValueError("load vector must be non-empty")
+    if not np.issubdtype(arr.dtype, np.integer):
+        if np.issubdtype(arr.dtype, np.floating) and np.all(arr == np.floor(arr)):
+            arr = arr.astype(np.int64)
+        else:
+            raise TypeError("load vector entries must be integers")
+    arr = arr.astype(np.int64, copy=True)
+    if (arr < 0).any():
+        raise ValueError("load vector entries must be non-negative")
+    if normalized and (np.diff(arr) > 0).any():
+        raise ValueError("load vector is not normalized (non-increasing)")
+    return arr

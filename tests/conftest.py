@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.balls.load_vector import LoadVector
+from repro.balls.rules import ABKURule, AdaptiveRule, UniformRule, threshold_chi
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def abku2():
+    return ABKURule(2)
+
+
+@pytest.fixture
+def abku3():
+    return ABKURule(3)
+
+
+@pytest.fixture
+def uniform_rule():
+    return UniformRule()
+
+
+@pytest.fixture
+def adaptive_rule():
+    return AdaptiveRule(threshold_chi(1, 3, 2), name="thresh")
+
+
+@pytest.fixture(params=[(4, 4), (3, 5), (5, 3)])
+def small_nm(request):
+    """Small (n, m) pairs for exhaustive checks."""
+    return request.param
+
+
+@pytest.fixture
+def crash_state():
+    return LoadVector.all_in_one(12, 6)

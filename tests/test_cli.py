@@ -1,0 +1,109 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_subcommands_exist(self):
+        parser = build_parser()
+        for cmd in ("simulate", "bounds", "experiment", "report", "verify", "static"):
+            args = parser.parse_args(
+                [cmd] + (["E9"] if cmd == "experiment" else [])
+            )
+            assert args.command == cmd
+
+
+class TestBounds:
+    def test_prints_all_bounds(self, capsys):
+        assert main(["bounds", "--n", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 1" in out and "Claim 5.3" in out
+        assert "Corollary 6.4" in out and "n^5" in out
+
+    def test_custom_m(self, capsys):
+        assert main(["bounds", "--n", "8", "--m", "16"]) == 0
+        assert "m=16" in capsys.readouterr().out
+
+
+class TestSimulate:
+    def test_scenario_a_recovers(self, capsys):
+        assert main(
+            ["simulate", "--scenario", "a", "--n", "64", "--checkpoints", "4",
+             "--seed", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        # Lines containing "|": the header then one row per checkpoint.
+        lines = [l for l in out.splitlines() if "|" in l][1:]
+        first_load = int(lines[0].split("|")[1])
+        last_load = int(lines[-1].split("|")[1])
+        assert first_load == 64 and last_load <= 5
+
+    def test_scenario_b(self, capsys):
+        assert main(
+            ["simulate", "--scenario", "b", "--n", "16", "--steps", "200",
+             "--checkpoints", "2"]
+        ) == 0
+        assert "I_B-ABKU[2]" in capsys.readouterr().out
+
+    def test_edge(self, capsys):
+        assert main(
+            ["simulate", "--scenario", "edge", "--n", "32", "--steps", "2000",
+             "--checkpoints", "2"]
+        ) == 0
+        assert "unfairness" in capsys.readouterr().out
+
+    def test_start_choices(self, capsys):
+        for start in ("balanced", "random"):
+            assert main(
+                ["simulate", "--n", "8", "--steps", "10", "--start", start]
+            ) == 0
+
+
+class TestVerify:
+    def test_passes(self, capsys):
+        assert main(["verify", "--n", "3", "--m", "4", "--edge-n", "4"]) == 0
+        assert "verified" in capsys.readouterr().out
+
+
+class TestExperiment:
+    def test_runs_e9(self, capsys):
+        assert main(["experiment", "e9"]) == 0
+        assert "[E9]" in capsys.readouterr().out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            main(["experiment", "E99"])
+
+
+class TestStatic:
+    def test_table(self, capsys):
+        assert main(["static", "--n", "256", "--max-d", "2", "--replicas", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "static allocation" in out
+
+
+class TestReport:
+    def test_writes_file(self, tmp_path, capsys):
+        out = tmp_path / "EXP.md"
+        # smoke-scale full report is a few seconds; acceptable here as
+        # the single end-to-end CLI test.
+        assert main(["report", "--scale", "smoke", "--out", str(out)]) == 0
+        text = out.read_text()
+        assert "# EXPERIMENTS" in text and "E15" in text
+
+
+class TestDiagnose:
+    def test_chain_a(self, capsys):
+        assert main(["diagnose", "--chain", "a", "--n", "3", "--m", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "exact tau(0.25)" in out and "ergodic" in out
+
+    def test_chain_edge(self, capsys):
+        assert main(["diagnose", "--chain", "edge", "--n", "4"]) == 0
+        assert "edge orientation chain" in capsys.readouterr().out

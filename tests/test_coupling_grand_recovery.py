@@ -1,0 +1,248 @@
+"""Tests for grand couplings, contraction estimation and recovery bounds."""
+
+import numpy as np
+import pytest
+
+from repro.balls.load_vector import LoadVector
+from repro.balls.rules import ABKURule
+from repro.coupling.contraction import (
+    ContractionEstimate,
+    adjacent_perturbation,
+    estimate_contraction,
+)
+from repro.coupling.grand import (
+    coalescence_time_a,
+    coalescence_time_b,
+    coalescence_time_edge,
+    coalescence_times,
+    _rank_move,
+)
+from repro.coupling.lemma import (
+    additive_to_multiplicative,
+    path_coupling_bound,
+    path_coupling_bound_zero_rate,
+)
+from repro.coupling.recovery import (
+    RecoveryBounds,
+    ajtai_previous_bound_shape,
+    claim53_bound,
+    corollary64_bound,
+    edge_orientation_lower_shape,
+    scenario_b_lower_shapes,
+    theorem1_bound,
+    theorem1_lower_shape,
+    theorem2_bound,
+)
+
+
+class TestPathCouplingLemma:
+    def test_case1_formula(self):
+        # tau <= ln(D/eps)/(1-rho)
+        assert path_coupling_bound(0.5, 10, 0.25) == int(
+            np.ceil(np.log(40) / 0.5)
+        )
+
+    def test_case1_validation(self):
+        with pytest.raises(ValueError):
+            path_coupling_bound(1.0, 10)
+        with pytest.raises(ValueError):
+            path_coupling_bound(0.5, 0.5)
+        with pytest.raises(ValueError):
+            path_coupling_bound(0.5, 10, eps=1.0)
+
+    def test_case2_formula(self):
+        expected = int(np.ceil(np.e * 100 / 0.1)) * int(np.ceil(np.log(4)))
+        assert path_coupling_bound_zero_rate(0.1, 10, 0.25) == expected
+
+    def test_case2_validation(self):
+        with pytest.raises(ValueError):
+            path_coupling_bound_zero_rate(0.0, 10)
+        with pytest.raises(ValueError):
+            path_coupling_bound_zero_rate(0.5, 0)
+
+    def test_additive_conversion(self):
+        assert additive_to_multiplicative(0.1, 10) == pytest.approx(0.99)
+        with pytest.raises(ValueError):
+            additive_to_multiplicative(0.0, 10)
+        with pytest.raises(ValueError):
+            additive_to_multiplicative(2.0, 1.0)
+
+
+class TestBoundFormulas:
+    def test_theorem1_value(self):
+        assert theorem1_bound(100, 0.25) == int(np.ceil(100 * np.log(400)))
+
+    def test_theorem1_monotone(self):
+        assert theorem1_bound(64) < theorem1_bound(128)
+        assert theorem1_bound(64, 0.01) > theorem1_bound(64, 0.25)
+
+    def test_theorem1_validation(self):
+        with pytest.raises(ValueError):
+            theorem1_bound(1)
+        with pytest.raises(ValueError):
+            theorem1_bound(10, 1.5)
+
+    def test_claim53_order(self):
+        # O(n m^2): doubling m at fixed n roughly quadruples the bound.
+        b1 = claim53_bound(10, 100)
+        b2 = claim53_bound(10, 200)
+        assert 3.5 < b2 / b1 < 4.5
+
+    def test_corollary64_order(self):
+        b1 = corollary64_bound(16)
+        b2 = corollary64_bound(32)
+        assert 6 < b2 / b1 < 11  # ~n^3 (+ log factor)
+
+    def test_theorem2_shape(self):
+        n = 64
+        assert theorem2_bound(n) == pytest.approx(n * n * np.log(n) ** 2)
+
+    def test_lower_shapes(self):
+        assert theorem1_lower_shape(10) == pytest.approx(10 * np.log(10))
+        assert scenario_b_lower_shapes(4, 8) == (32.0, 64.0)
+        assert edge_orientation_lower_shape(5) == 25.0
+        assert ajtai_previous_bound_shape(10) == 1e5
+
+    def test_recovery_bounds_for_balls(self):
+        rb = RecoveryBounds.for_balls(16, 16)
+        assert rb.scenario_a == theorem1_bound(16)
+        assert rb.scenario_b == claim53_bound(16, 16)
+        assert rb.edge_cor64 is None
+
+    def test_recovery_bounds_for_edge(self):
+        rb = RecoveryBounds.for_edge_orientation(16)
+        assert rb.edge_cor64 == corollary64_bound(16)
+        assert rb.scenario_a is None
+
+
+class TestGrandCouplingA:
+    def test_equal_states_coalesce_at_zero(self, abku2):
+        v = LoadVector.balanced(8, 4)
+        assert coalescence_time_a(abku2, v, v.copy(), seed=0) == 0
+
+    def test_coalesces_within_bound(self, abku2):
+        m = 32
+        times = coalescence_times(
+            coalescence_time_a, 10, abku2,
+            LoadVector.all_in_one(m, m), LoadVector.balanced(m, m), seed=1,
+        )
+        assert (times > 0).all()
+        assert np.quantile(times, 0.95) <= theorem1_bound(m, 0.25)
+
+    def test_mismatched_sizes_rejected(self, abku2):
+        with pytest.raises(ValueError):
+            coalescence_time_a(
+                abku2, LoadVector.balanced(4, 2), LoadVector.balanced(4, 4)
+            )
+
+    def test_mismatched_mass_rejected(self, abku2):
+        with pytest.raises(ValueError):
+            coalescence_time_a(
+                abku2, LoadVector.balanced(4, 4), LoadVector.balanced(5, 4)
+            )
+
+    def test_cap_returns_minus_one(self, abku2):
+        t = coalescence_time_a(
+            abku2, LoadVector.all_in_one(64, 64),
+            LoadVector.balanced(64, 64), max_steps=2, seed=0,
+        )
+        assert t == -1
+
+    def test_deterministic(self, abku2):
+        args = (abku2, LoadVector.all_in_one(16, 16), LoadVector.balanced(16, 16))
+        assert coalescence_time_a(*args, seed=5) == coalescence_time_a(*args, seed=5)
+
+
+class TestGrandCouplingB:
+    def test_coalesces(self, abku2):
+        t = coalescence_time_b(
+            abku2, LoadVector.all_in_one(16, 16),
+            LoadVector.balanced(16, 16), seed=2,
+        )
+        assert 0 < t <= claim53_bound(16, 16)
+
+    def test_slower_than_a(self, abku2):
+        m = 24
+        ta = coalescence_times(
+            coalescence_time_a, 8, abku2,
+            LoadVector.all_in_one(m, m), LoadVector.balanced(m, m), seed=3,
+        )
+        tb = coalescence_times(
+            coalescence_time_b, 8, abku2,
+            LoadVector.all_in_one(m, m), LoadVector.balanced(m, m), seed=3,
+        )
+        assert np.median(tb) > np.median(ta)
+
+
+class TestGrandCouplingEdge:
+    def test_rank_move_equal_values(self):
+        d = np.array([2, 2, -4], dtype=np.int64)
+        _rank_move(d, 0, 1)
+        assert d.tolist() == [3, 1, -4]
+
+    def test_rank_move_adjacent_values_noop(self):
+        d = np.array([2, 1, -3], dtype=np.int64)
+        before = d.copy()
+        _rank_move(d, 0, 1)
+        assert np.array_equal(d, before)
+
+    def test_rank_move_general(self):
+        d = np.array([3, 0, -3], dtype=np.int64)
+        _rank_move(d, 0, 2)
+        assert d.tolist() == [2, 0, -2]
+
+    def test_rank_move_preserves_sort_and_sum(self, rng):
+        d = np.sort(rng.integers(-5, 6, size=12))[::-1].copy()
+        d[-1] -= d.sum()
+        d = np.sort(d)[::-1].copy()
+        for _ in range(500):
+            phi = int(rng.integers(0, 12))
+            psi = int(rng.integers(0, 11))
+            if psi >= phi:
+                psi += 1
+            if phi > psi:
+                phi, psi = psi, phi
+            _rank_move(d, phi, psi)
+            assert (np.diff(d) <= 0).all()
+            assert d.sum() == 0
+
+    def test_coalesces(self):
+        t = coalescence_time_edge(
+            [4, 0, 0, 0, 0, 0, 0, -4], [0] * 8, seed=4
+        )
+        assert 0 < t <= corollary64_bound(8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="sum to 0"):
+            coalescence_time_edge([1, 0], [0, 0])
+        with pytest.raises(ValueError, match="same number"):
+            coalescence_time_edge([0, 0], [0, 0, 0])
+
+    def test_equal_start(self):
+        assert coalescence_time_edge([1, -1], [1, -1], seed=0) == 0
+
+
+class TestContractionEstimator:
+    def test_scenario_a_estimate(self, abku2):
+        est = estimate_contraction(abku2, 24, 24, scenario="a", samples=400, seed=0)
+        assert isinstance(est, ContractionEstimate)
+        assert est.expand_rate == 0.0  # Lemma 4.1: never expands
+        assert est.mean_delta <= 1.0 - 1.0 / 24 + 5 * est.stderr
+        assert est.coalesce_rate > 0.0
+
+    def test_scenario_b_estimate(self, abku2):
+        est = estimate_contraction(abku2, 16, 16, scenario="b", samples=400, seed=1)
+        assert est.mean_delta <= 1.0 + 5 * est.stderr
+        assert est.coalesce_rate >= 0.0
+
+    def test_invalid_scenario(self, abku2):
+        with pytest.raises(ValueError):
+            estimate_contraction(abku2, 8, 8, scenario="x")
+
+    def test_adjacent_perturbation_distance_one(self, rng):
+        v = LoadVector.random(20, 8, rng).loads
+        from repro.balls.load_vector import delta_distance
+
+        for _ in range(50):
+            u = adjacent_perturbation(v, rng)
+            assert delta_distance(v, u) == 1

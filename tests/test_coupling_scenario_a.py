@@ -1,0 +1,166 @@
+"""Tests for the §4 scenario-A coupling (Lemma 4.1, Corollary 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.balls.load_vector import delta_distance
+from repro.balls.rules import ABKURule, AdaptiveRule, UniformRule, threshold_chi
+from repro.coupling.scenario_a_coupling import (
+    coupled_step_a,
+    exact_joint_outcomes_a,
+    expected_delta_a,
+    iter_adjacent_pairs,
+    split_adjacent_pair,
+    verify_corollary_42,
+    verify_lemma_41,
+)
+
+
+class TestSplitAdjacentPair:
+    def test_canonical_orientation(self):
+        v = np.array([3, 1, 0], dtype=np.int64)
+        u = np.array([2, 2, 0], dtype=np.int64)
+        lam, delt, swapped = split_adjacent_pair(v, u)
+        assert (lam, delt, swapped) == (0, 1, False)
+
+    def test_swapped_orientation(self):
+        v = np.array([2, 2, 0], dtype=np.int64)
+        u = np.array([3, 1, 0], dtype=np.int64)
+        lam, delt, swapped = split_adjacent_pair(v, u)
+        assert (lam, delt, swapped) == (0, 1, True)
+
+    def test_non_adjacent_rejected(self):
+        v = np.array([4, 0], dtype=np.int64)
+        u = np.array([2, 2], dtype=np.int64)
+        with pytest.raises(ValueError, match="adjacent"):
+            split_adjacent_pair(v, u)
+
+    def test_equal_rejected(self):
+        v = np.array([2, 1], dtype=np.int64)
+        with pytest.raises(ValueError):
+            split_adjacent_pair(v, v.copy())
+
+
+class TestIterAdjacentPairs:
+    def test_all_pairs_are_adjacent(self):
+        for v, u in iter_adjacent_pairs(3, 4):
+            assert delta_distance(v, u) == 1
+
+    def test_symmetric(self):
+        pairs = {(tuple(v), tuple(u)) for v, u in iter_adjacent_pairs(3, 4)}
+        assert all((b, a) in pairs for a, b in pairs)
+
+    def test_nonempty(self):
+        assert len(list(iter_adjacent_pairs(3, 3))) > 0
+
+
+class TestExactLaw:
+    def test_law_sums_to_one(self, abku2):
+        v = np.array([3, 1, 0], dtype=np.int64)
+        u = np.array([2, 2, 0], dtype=np.int64)
+        law = exact_joint_outcomes_a(abku2, v, u)
+        assert sum(law.values()) == pytest.approx(1.0)
+
+    def test_marginals_match_chain(self, abku2):
+        """The v-marginal of the coupled law equals the I_A kernel row."""
+        from repro.markov import scenario_a_kernel
+
+        v = np.array([3, 1, 0], dtype=np.int64)
+        u = np.array([2, 2, 0], dtype=np.int64)
+        law = exact_joint_outcomes_a(abku2, v, u)
+        ch = scenario_a_kernel(abku2, 3, 4)
+        row = ch.P[ch.index_of(tuple(v))]
+        marg: dict = {}
+        for (a, _b), p in law.items():
+            marg[a] = marg.get(a, 0.0) + p
+        for s, pr in marg.items():
+            assert pr == pytest.approx(row[ch.index_of(s)], abs=1e-12)
+
+    def test_marginals_match_chain_u_side(self, abku2):
+        from repro.markov import scenario_a_kernel
+
+        v = np.array([2, 1, 1], dtype=np.int64)
+        u = np.array([2, 2, 0], dtype=np.int64)
+        law = exact_joint_outcomes_a(abku2, v, u)
+        ch = scenario_a_kernel(abku2, 3, 4)
+        row = ch.P[ch.index_of(tuple(u))]
+        marg: dict = {}
+        for (_a, b), p in law.items():
+            marg[b] = marg.get(b, 0.0) + p
+        for s, pr in marg.items():
+            assert pr == pytest.approx(row[ch.index_of(s)], abs=1e-12)
+
+    def test_swapped_pair_gives_mirrored_law(self, abku2):
+        v = np.array([3, 1, 0], dtype=np.int64)
+        u = np.array([2, 2, 0], dtype=np.int64)
+        law = exact_joint_outcomes_a(abku2, v, u)
+        law_swapped = exact_joint_outcomes_a(abku2, u, v)
+        assert law_swapped == {(b, a): p for (a, b), p in law.items()}
+
+
+class TestLemma41:
+    @pytest.mark.parametrize("n,m", [(3, 3), (4, 4), (3, 5)])
+    def test_abku2(self, abku2, n, m):
+        verify_lemma_41(abku2, n, m)
+
+    def test_abku1(self):
+        verify_lemma_41(UniformRule(), 3, 4)
+
+    def test_abku3(self):
+        verify_lemma_41(ABKURule(3), 3, 3)
+
+    def test_adap(self):
+        verify_lemma_41(AdaptiveRule(threshold_chi(1, 2, 2)), 3, 4)
+
+
+class TestCorollary42:
+    def test_exact_tightness(self, abku2):
+        """The worst-case expected distance equals 1 - 1/m exactly."""
+        worst = verify_corollary_42(abku2, 4, 4)
+        assert worst == pytest.approx(1.0 - 1.0 / 4, abs=1e-12)
+
+    def test_other_sizes(self, abku2):
+        assert verify_corollary_42(abku2, 3, 5) <= 1.0 - 1.0 / 5 + 1e-12
+
+    def test_uniform_rule(self):
+        assert verify_corollary_42(UniformRule(), 3, 4) <= 0.75 + 1e-12
+
+    def test_expected_delta_single_pair(self, abku2):
+        v = np.array([2, 1, 1], dtype=np.int64)
+        u = np.array([2, 2, 0], dtype=np.int64)
+        e = expected_delta_a(abku2, v, u)
+        assert 0.0 <= e <= 1.0 - 1.0 / 4 + 1e-12
+
+
+class TestSampledStep:
+    def test_outcome_in_exact_support(self, abku2, rng):
+        v = np.array([3, 1, 0], dtype=np.int64)
+        u = np.array([2, 2, 0], dtype=np.int64)
+        support = set(exact_joint_outcomes_a(abku2, v, u))
+        for _ in range(50):
+            v0, u0 = coupled_step_a(abku2, v, u, rng)
+            assert (tuple(map(int, v0)), tuple(map(int, u0))) in support
+
+    def test_never_expands(self, abku2, rng):
+        v = np.array([4, 2, 1, 0], dtype=np.int64)
+        u = np.array([4, 1, 1, 1], dtype=np.int64)
+        for _ in range(200):
+            v0, u0 = coupled_step_a(abku2, v, u, rng)
+            assert delta_distance(v0, u0) <= 1
+
+    def test_handles_swapped_input(self, abku2, rng):
+        v = np.array([2, 2, 0], dtype=np.int64)
+        u = np.array([3, 1, 0], dtype=np.int64)
+        v0, u0 = coupled_step_a(abku2, v, u, rng)
+        assert v0.sum() == 4 and u0.sum() == 4
+
+    def test_empirical_matches_exact_expectation(self, abku2):
+        v = np.array([3, 1, 0], dtype=np.int64)
+        u = np.array([2, 2, 0], dtype=np.int64)
+        exact = expected_delta_a(abku2, v, u)
+        rng = np.random.default_rng(0)
+        samples = [
+            delta_distance(*coupled_step_a(abku2, v, u, rng))
+            for _ in range(4000)
+        ]
+        assert abs(np.mean(samples) - exact) < 0.05

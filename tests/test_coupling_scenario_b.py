@@ -1,0 +1,167 @@
+"""Tests for the §5 scenario-B coupling (Claims 5.1–5.3)."""
+
+import numpy as np
+import pytest
+
+from repro.balls.load_vector import delta_distance, ominus
+from repro.balls.rules import ABKURule, UniformRule
+from repro.coupling.scenario_a_coupling import iter_adjacent_pairs, split_adjacent_pair
+from repro.coupling.scenario_b_coupling import (
+    coupled_step_b,
+    exact_joint_outcomes_b,
+    expected_delta_b,
+    removal_cases_b,
+    verify_claim_51_52,
+    verify_claim53_facts,
+)
+
+
+class TestRemovalCoupling:
+    def test_cases_probabilities_sum(self):
+        for v, u in iter_adjacent_pairs(4, 5):
+            _, _, swapped = split_adjacent_pair(v, u)
+            if swapped:
+                continue
+            cases = removal_cases_b(v, u)
+            assert sum(p for p, _, _ in cases) == pytest.approx(1.0)
+
+    def test_marginal_i_uniform_on_v_nonempty(self):
+        """The i-marginal must be ℬ(v): uniform over v's nonempty bins."""
+        for v, u in iter_adjacent_pairs(4, 4):
+            _, _, swapped = split_adjacent_pair(v, u)
+            if swapped:
+                continue
+            s1 = int(np.searchsorted(-v, 0, "left"))
+            marg = np.zeros(4)
+            for p, i, _ in removal_cases_b(v, u):
+                marg[i] += p
+            assert np.allclose(marg[:s1], 1.0 / s1)
+            assert np.allclose(marg[s1:], 0.0)
+
+    def test_marginal_istar_uniform_on_u_nonempty(self):
+        for v, u in iter_adjacent_pairs(4, 4):
+            _, _, swapped = split_adjacent_pair(v, u)
+            if swapped:
+                continue
+            s2 = int(np.searchsorted(-u, 0, "left"))
+            marg = np.zeros(4)
+            for p, _, istar in removal_cases_b(v, u):
+                marg[istar] += p
+            assert np.allclose(marg[:s2], 1.0 / s2)
+
+    def test_removals_always_legal(self):
+        for v, u in iter_adjacent_pairs(4, 5):
+            _, _, swapped = split_adjacent_pair(v, u)
+            if swapped:
+                continue
+            for p, i, istar in removal_cases_b(v, u):
+                assert v[i] > 0 and u[istar] > 0
+                ominus(v, i)
+                ominus(u, istar)
+
+    def test_wrong_orientation_rejected(self):
+        v = np.array([2, 2, 0], dtype=np.int64)
+        u = np.array([3, 1, 0], dtype=np.int64)
+        with pytest.raises(ValueError, match="expects"):
+            removal_cases_b(v, u)
+
+    def test_unequal_nonempty_case_exercised(self):
+        """Find a pair with s1 != s2 and check its special structure."""
+        found = False
+        for v, u in iter_adjacent_pairs(4, 4):
+            lam, delt, swapped = split_adjacent_pair(v, u)
+            if swapped:
+                continue
+            s1 = int(np.searchsorted(-v, 0, "left"))
+            s2 = int(np.searchsorted(-u, 0, "left"))
+            if s1 != s2:
+                found = True
+                assert s2 == s1 + 1 and delt == s1
+        assert found
+
+
+class TestClaims:
+    @pytest.mark.parametrize("n,m", [(3, 3), (4, 4), (3, 5), (5, 4)])
+    def test_claims_51_52(self, n, m):
+        verify_claim_51_52(n, m)
+
+    @pytest.mark.parametrize("n,m", [(3, 3), (4, 4), (3, 5)])
+    def test_claim53_facts_abku2(self, abku2, n, m):
+        worst_e, worst_p0 = verify_claim53_facts(abku2, n, m)
+        assert worst_e <= 1.0 + 1e-12
+        assert worst_p0 >= 1.0 / n - 1e-12
+
+    def test_claim53_facts_uniform(self):
+        verify_claim53_facts(UniformRule(), 3, 4)
+
+    def test_claim53_facts_abku3(self):
+        verify_claim53_facts(ABKURule(3), 3, 3)
+
+
+class TestExactLawB:
+    def test_law_sums_to_one(self, abku2):
+        v = np.array([3, 1, 0], dtype=np.int64)
+        u = np.array([2, 2, 0], dtype=np.int64)
+        assert sum(exact_joint_outcomes_b(abku2, v, u).values()) == pytest.approx(1.0)
+
+    def test_marginals_match_kernel(self, abku2):
+        from repro.markov import scenario_b_kernel
+
+        v = np.array([2, 1, 1], dtype=np.int64)
+        u = np.array([2, 2, 0], dtype=np.int64)
+        law = exact_joint_outcomes_b(abku2, v, u)
+        ch = scenario_b_kernel(abku2, 3, 4)
+        marg_v: dict = {}
+        marg_u: dict = {}
+        for (a, b), p in law.items():
+            marg_v[a] = marg_v.get(a, 0.0) + p
+            marg_u[b] = marg_u.get(b, 0.0) + p
+        row_v = ch.P[ch.index_of(tuple(v))]
+        row_u = ch.P[ch.index_of(tuple(u))]
+        for s, pr in marg_v.items():
+            assert pr == pytest.approx(row_v[ch.index_of(s)], abs=1e-12)
+        for s, pr in marg_u.items():
+            assert pr == pytest.approx(row_u[ch.index_of(s)], abs=1e-12)
+
+    def test_expected_delta_at_most_one(self, abku2):
+        for v, u in iter_adjacent_pairs(3, 4):
+            assert expected_delta_b(abku2, v, u) <= 1.0 + 1e-12
+
+    def test_distance_can_reach_two(self, abku2):
+        """Unlike scenario A, the §5 coupling can expand to distance 2."""
+        seen_two = False
+        for v, u in iter_adjacent_pairs(4, 4):
+            law = exact_joint_outcomes_b(abku2, v, u)
+            for (a, b), p in law.items():
+                d = delta_distance(
+                    np.array(a, dtype=np.int64), np.array(b, dtype=np.int64)
+                )
+                if d == 2 and p > 0:
+                    seen_two = True
+        assert seen_two
+
+
+class TestSampledStepB:
+    def test_outcome_in_support(self, abku2, rng):
+        v = np.array([3, 1, 0], dtype=np.int64)
+        u = np.array([2, 2, 0], dtype=np.int64)
+        support = set(exact_joint_outcomes_b(abku2, v, u))
+        for _ in range(50):
+            v0, u0 = coupled_step_b(abku2, v, u, rng)
+            assert (tuple(map(int, v0)), tuple(map(int, u0))) in support
+
+    def test_handles_swapped_input(self, abku2, rng):
+        v = np.array([2, 2, 0], dtype=np.int64)
+        u = np.array([3, 1, 0], dtype=np.int64)
+        v0, u0 = coupled_step_b(abku2, v, u, rng)
+        assert v0.sum() == u0.sum() == 4
+
+    def test_empirical_matches_exact(self, abku2):
+        v = np.array([2, 2, 1], dtype=np.int64)
+        u = np.array([3, 1, 1], dtype=np.int64)
+        exact = expected_delta_b(abku2, v, u)
+        rng = np.random.default_rng(1)
+        mean = np.mean(
+            [delta_distance(*coupled_step_b(abku2, v, u, rng)) for _ in range(4000)]
+        )
+        assert abs(mean - exact) < 0.06

@@ -1,0 +1,52 @@
+"""Tests for the one-stop chain diagnostics."""
+
+import pytest
+
+from repro.analysis.diagnose import ChainDiagnostics, diagnose
+from repro.balls.rules import ABKURule
+from repro.edgeorient.chain import edge_orientation_kernel
+from repro.markov import scenario_a_kernel, scenario_b_kernel
+
+
+class TestDiagnose:
+    @pytest.mark.parametrize("kernel", [scenario_a_kernel, scenario_b_kernel])
+    def test_balls_chains_consistent(self, abku2, kernel):
+        diag = diagnose(kernel(abku2, 3, 5))
+        assert diag.ergodic
+        diag.check_consistency()
+
+    def test_edge_chain_consistent(self):
+        diag = diagnose(edge_orientation_kernel(5))
+        assert diag.ergodic
+        diag.check_consistency()
+
+    def test_table_renders(self, abku2):
+        diag = diagnose(scenario_a_kernel(abku2, 3, 3))
+        out = diag.table("demo").render()
+        assert "exact tau(0.25)" in out and "conductance" in out
+
+    def test_inconsistent_values_detected(self):
+        bad = ChainDiagnostics(
+            size=2, ergodic=True, eps=0.25, mixing_time=1,
+            relaxation=1000.0, conductance=0.5, cheeger_lower=0.125,
+            spectral_gap=0.3, cheeger_upper=1.0, pi_min=0.5, pi_max=0.5,
+        )
+        with pytest.raises(AssertionError, match="mixing/relaxation"):
+            bad.check_consistency()
+
+    def test_cheeger_violation_detected(self):
+        bad = ChainDiagnostics(
+            size=2, ergodic=True, eps=0.25, mixing_time=10,
+            relaxation=2.0, conductance=0.1, cheeger_lower=0.005,
+            spectral_gap=0.9, cheeger_upper=0.2, pi_min=0.5, pi_max=0.5,
+        )
+        with pytest.raises(AssertionError, match="Cheeger"):
+            bad.check_consistency()
+
+    def test_slow_chain_diagnosed_slower(self, abku2):
+        """B's diagnostics dominate A's at the same size, coherently."""
+        da = diagnose(scenario_a_kernel(abku2, 4, 8))
+        db = diagnose(scenario_b_kernel(abku2, 4, 8))
+        assert db.mixing_time > da.mixing_time
+        assert db.relaxation > da.relaxation
+        assert db.conductance < da.conductance

@@ -1,0 +1,92 @@
+"""Tests for the removal distributions 𝒜(v) and ℬ(v)."""
+
+import numpy as np
+import pytest
+
+from repro.balls.distributions import (
+    quantile_removal_a,
+    quantile_removal_b,
+    removal_distribution_a,
+    removal_distribution_b,
+    sample_removal_a,
+    sample_removal_b,
+)
+
+
+@pytest.fixture
+def v():
+    return np.array([3, 2, 1, 0], dtype=np.int64)
+
+
+class TestDistributionA:
+    def test_pmf(self, v):
+        p = removal_distribution_a(v)
+        assert np.allclose(p, [0.5, 1 / 3, 1 / 6, 0.0])
+
+    def test_pmf_sums_to_one(self, v):
+        assert removal_distribution_a(v).sum() == pytest.approx(1.0)
+
+    def test_empty_state_raises(self):
+        with pytest.raises(ValueError, match="empty state"):
+            removal_distribution_a(np.zeros(3, dtype=np.int64))
+
+    def test_quantile_inverts_cdf(self, v):
+        # m=6 balls; quantile at u covers ball floor(6u).
+        assert quantile_removal_a(v, 0.0) == 0
+        assert quantile_removal_a(v, 0.49) == 0
+        assert quantile_removal_a(v, 0.5) == 1
+        assert quantile_removal_a(v, 0.84) == 2
+        assert quantile_removal_a(v, 0.999999) == 2
+
+    def test_quantile_monotone_in_u(self, v):
+        qs = [quantile_removal_a(v, u) for u in np.linspace(0, 0.999, 50)]
+        assert qs == sorted(qs)
+
+    def test_sample_matches_pmf(self, v, rng):
+        counts = np.zeros(4)
+        for _ in range(6000):
+            counts[sample_removal_a(v, rng)] += 1
+        assert np.abs(counts / 6000 - removal_distribution_a(v)).max() < 0.03
+
+
+class TestDistributionB:
+    def test_pmf(self, v):
+        p = removal_distribution_b(v)
+        assert np.allclose(p, [1 / 3, 1 / 3, 1 / 3, 0.0])
+
+    def test_all_nonempty(self):
+        v = np.array([2, 1, 1], dtype=np.int64)
+        assert np.allclose(removal_distribution_b(v), 1 / 3)
+
+    def test_empty_state_raises(self):
+        with pytest.raises(ValueError, match="empty state"):
+            removal_distribution_b(np.zeros(2, dtype=np.int64))
+
+    def test_quantile(self, v):
+        assert quantile_removal_b(v, 0.0) == 0
+        assert quantile_removal_b(v, 0.34) == 1
+        assert quantile_removal_b(v, 0.99) == 2
+
+    def test_sample_uniform_over_nonempty(self, v, rng):
+        counts = np.zeros(4)
+        for _ in range(6000):
+            counts[sample_removal_b(v, rng)] += 1
+        assert counts[3] == 0
+        assert np.abs(counts[:3] / 6000 - 1 / 3).max() < 0.03
+
+    def test_sample_empty_raises(self, rng):
+        with pytest.raises(ValueError):
+            sample_removal_b(np.zeros(2, dtype=np.int64), rng)
+
+
+class TestQuantileCoupling:
+    def test_shared_u_aligns_adjacent_states(self):
+        """The grand coupling property: adjacent states fed the same u
+        remove from aligned bins except on an O(1/m) set of u."""
+        v = np.array([3, 2, 1], dtype=np.int64)
+        u_vec = np.array([2, 2, 2], dtype=np.int64)
+        diff = sum(
+            quantile_removal_a(v, x) != quantile_removal_a(u_vec, x)
+            for x in np.linspace(0, 0.999, 600)
+        )
+        assert diff <= 200  # differs on a bounded fraction of quantiles

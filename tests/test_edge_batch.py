@@ -1,0 +1,82 @@
+"""Tests for the vectorized edge orientation batch simulator."""
+
+import numpy as np
+import pytest
+
+from repro.edgeorient.batch import BatchEdgeProcess
+from repro.edgeorient.greedy import EdgeOrientationProcess
+
+
+class TestInvariants:
+    def test_rows_sum_zero_and_sorted(self):
+        bp = BatchEdgeProcess([3, 0, 0, -3] + [0] * 4, 6, seed=0)
+        for _ in range(300):
+            bp.step()
+            assert (bp.discrepancies.sum(axis=1) == 0).all()
+            assert (np.diff(bp.discrepancies, axis=1) <= 0).all()
+
+    def test_lazy_rows_too(self):
+        bp = BatchEdgeProcess([0] * 8, 4, lazy=True, seed=1)
+        for _ in range(200):
+            bp.step()
+            assert (bp.discrepancies.sum(axis=1) == 0).all()
+            assert (np.diff(bp.discrepancies, axis=1) <= 0).all()
+
+    def test_unfairness_definition(self):
+        bp = BatchEdgeProcess([2, -1, -1, 0], 3, seed=2)
+        u = bp.unfairness()
+        assert (u == 2).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="sum to 0"):
+            BatchEdgeProcess([1, 0], 2)
+        with pytest.raises(ValueError):
+            BatchEdgeProcess([0], 2)
+        with pytest.raises(ValueError):
+            BatchEdgeProcess([0, 0], 0)
+
+    def test_deterministic(self):
+        a = BatchEdgeProcess([0] * 10, 4, seed=5).run(200)
+        b = BatchEdgeProcess([0] * 10, 4, seed=5).run(200)
+        assert np.array_equal(a.discrepancies, b.discrepancies)
+
+
+class TestLawAgreement:
+    def test_matches_scalar_mean_unfairness(self):
+        """Batch and scalar simulators agree on stationary unfairness."""
+        n = 128
+        bp = BatchEdgeProcess([0] * n, 10, seed=3)
+        batch_mean = bp.mean_unfairness(40 * n, burn_in=10 * n, every=n // 8)
+        scalar_vals = []
+        for s in range(5):
+            p = EdgeOrientationProcess(n, lazy=False, seed=100 + s)
+            scalar_vals.append(
+                p.mean_unfairness(40 * n, burn_in=10 * n, every=n // 8)
+            )
+        assert abs(batch_mean - float(np.mean(scalar_vals))) < 0.4
+
+    def test_single_replica_step_law(self):
+        """One-step law of a 1-replica batch matches the exact kernel."""
+        from repro.edgeorient.chain import edge_orientation_kernel
+        from repro.edgeorient.state import canonical_discrepancies
+
+        ch = edge_orientation_kernel(4, lazy=False)
+        start = (1, 0, 0, -1)
+        row = ch.P[ch.index_of(start)]
+        counts: dict = {}
+        trials = 6000
+        rng = np.random.default_rng(7)
+        for _ in range(trials):
+            bp = BatchEdgeProcess(list(start), 1, lazy=False, seed=rng)
+            bp.step()
+            key = canonical_discrepancies(bp.discrepancies[0])
+            counts[key] = counts.get(key, 0) + 1
+        for s, c in counts.items():
+            assert abs(c / trials - row[ch.index_of(s)]) < 0.03
+
+    def test_mean_unfairness_validation(self):
+        bp = BatchEdgeProcess([0] * 4, 2, seed=0)
+        with pytest.raises(ValueError):
+            bp.mean_unfairness(5, every=0)
+        with pytest.raises(ValueError):
+            bp.mean_unfairness(2, every=10)

@@ -1,0 +1,281 @@
+"""Tests for the edge orientation substrate."""
+
+import numpy as np
+import pytest
+
+from repro.edgeorient.carpool import CarpoolSimulator
+from repro.edgeorient.chain import edge_orientation_kernel, pair_transitions
+from repro.edgeorient.greedy import EdgeOrientationProcess
+from repro.edgeorient.metric import EdgeOrientationMetric
+from repro.edgeorient.state import (
+    canonical_discrepancies,
+    class_of_discrepancy,
+    discrepancies_to_xvector,
+    discrepancy_of_class,
+    enumerate_reachable_states,
+    greedy_neighbors,
+    max_discrepancy_bound,
+    num_classes,
+    unfairness,
+    xvector_to_discrepancies,
+    zero_state,
+)
+from repro.markov import exact_mixing_time, is_irreducible
+from repro.markov.ergodicity import is_ergodic
+
+
+class TestStateRepresentation:
+    @pytest.mark.parametrize("n,c", [(2, 1), (3, 1), (4, 2), (5, 2), (6, 3), (7, 3)])
+    def test_discrepancy_bound(self, n, c):
+        assert max_discrepancy_bound(n) == c
+        assert num_classes(n) == 2 * c + 1
+
+    def test_class_mapping_roundtrip(self):
+        n = 6
+        for disc in range(-3, 4):
+            lam = class_of_discrepancy(disc, n)
+            assert discrepancy_of_class(lam, n) == disc
+
+    def test_class_one_is_max_disc(self):
+        assert discrepancy_of_class(1, 7) == max_discrepancy_bound(7)
+
+    def test_class_out_of_range(self):
+        with pytest.raises(ValueError):
+            class_of_discrepancy(5, 4)
+        with pytest.raises(ValueError):
+            discrepancy_of_class(0, 4)
+
+    def test_xvector_roundtrip(self):
+        d = (2, 1, 0, -1, -2, 0)
+        x = discrepancies_to_xvector(d, 6)
+        assert sum(x) == 6
+        assert xvector_to_discrepancies(x, 6) == tuple(sorted(d, reverse=True))
+
+    def test_xvector_length_checks(self):
+        with pytest.raises(ValueError):
+            discrepancies_to_xvector((0, 0), 3)
+        with pytest.raises(ValueError):
+            xvector_to_discrepancies((1, 1), 3)
+
+    def test_canonical_requires_zero_sum(self):
+        with pytest.raises(ValueError, match="sum to 0"):
+            canonical_discrepancies([1, 0])
+
+    def test_unfairness(self):
+        assert unfairness([2, -3, 1, 0]) == 3
+        assert unfairness(zero_state(4)) == 0
+
+
+class TestReachability:
+    def test_zero_state_neighbors(self):
+        # From all-zeros any pair gives (1, -1, 0, ...).
+        succs = greedy_neighbors(zero_state(4))
+        assert succs == [(1, 0, 0, -1)]
+
+    def test_neighbor_count_pairs(self):
+        succs = greedy_neighbors((1, 0, -1))
+        # Pairs: (1,0)->(0,1,-1)->(1,0,-1)? compute: expect sums 0, valid states.
+        for s in succs:
+            assert sum(s) == 0
+
+    @pytest.mark.parametrize("n,count", [(2, 2), (3, 2), (4, 7), (5, 9), (6, 43)])
+    def test_reachable_counts(self, n, count):
+        assert len(enumerate_reachable_states(n)) == count
+
+    def test_reachable_within_bound(self):
+        for n in (4, 5, 6):
+            c = max_discrepancy_bound(n)
+            for s in enumerate_reachable_states(n):
+                assert max(abs(v) for v in s) <= c
+
+    def test_zero_state_included(self):
+        assert zero_state(5) in enumerate_reachable_states(5)
+
+
+class TestGreedyProcess:
+    def test_sum_invariant(self):
+        p = EdgeOrientationProcess(10, seed=0)
+        p.run(1000)
+        assert int(p.discrepancies.sum()) == 0
+
+    def test_unfairness_small_in_stationarity(self):
+        p = EdgeOrientationProcess(100, lazy=False, seed=1)
+        p.run(20000)
+        assert p.unfairness <= 5
+
+    def test_lazy_halves_movement(self):
+        lazy = EdgeOrientationProcess(50, lazy=True, seed=2)
+        eager = EdgeOrientationProcess(50, lazy=False, seed=2)
+        lazy.run(100)
+        eager.run(100)
+        assert lazy.t == eager.t == 100
+
+    def test_custom_start_state(self):
+        p = EdgeOrientationProcess([3, -3, 0, 0], seed=3)
+        assert p.unfairness == 3
+
+    def test_start_state_must_sum_zero(self):
+        with pytest.raises(ValueError, match="sum to 0"):
+            EdgeOrientationProcess([1, 0, 0])
+
+    def test_n_too_small(self):
+        with pytest.raises(ValueError):
+            EdgeOrientationProcess(1)
+
+    def test_determinism(self):
+        a = EdgeOrientationProcess(20, seed=5).run(500)
+        b = EdgeOrientationProcess(20, seed=5).run(500)
+        assert a.state == b.state
+
+    def test_run_until_unfairness(self):
+        p = EdgeOrientationProcess([6, -6] + [0] * 14, lazy=False, seed=6)
+        steps = p.run_until_unfairness(2, max_steps=100_000)
+        assert steps > 0
+        assert p.unfairness <= 2
+
+    def test_run_until_already_satisfied(self):
+        p = EdgeOrientationProcess(8, seed=7)
+        assert p.run_until_unfairness(0, 10) == 0
+
+    def test_trajectory_records(self):
+        p = EdgeOrientationProcess(16, seed=8)
+        traj = p.trajectory_unfairness(50, every=10)
+        assert traj.shape == (6,)
+        assert traj[0] == 0.0
+
+    def test_trajectory_bad_every(self):
+        p = EdgeOrientationProcess(4, seed=0)
+        with pytest.raises(ValueError):
+            p.trajectory_unfairness(5, every=0)
+
+    def test_mean_unfairness_positive(self):
+        p = EdgeOrientationProcess(32, lazy=False, seed=9)
+        assert p.mean_unfairness(2000, burn_in=500) > 0
+
+    def test_greedy_move_correct_direction(self):
+        """Higher-discrepancy endpoint falls, lower rises."""
+        p = EdgeOrientationProcess([2, -2], lazy=False, seed=10)
+        p.step()  # only one pair possible
+        assert sorted(p.discrepancies.tolist()) == [-1, 1]
+
+
+class TestExactChain:
+    def test_lazy_chain_ergodic(self):
+        for n in (3, 4, 5):
+            assert is_ergodic(edge_orientation_kernel(n))
+
+    def test_nonlazy_n2_periodic(self):
+        """Remark 1's reason: for n = 2 the non-lazy chain flips between
+        the two states and is periodic."""
+        ch = edge_orientation_kernel(2, lazy=False)
+        assert is_irreducible(ch)
+        assert not is_ergodic(ch)
+
+    def test_lazy_n2_ergodic(self):
+        assert is_ergodic(edge_orientation_kernel(2, lazy=True))
+
+    def test_pair_transition_probabilities_sum(self):
+        for s in enumerate_reachable_states(5):
+            total = sum(p for _, p in pair_transitions(s))
+            assert total == pytest.approx(1.0)
+
+    def test_lazy_self_loop(self):
+        ch = edge_orientation_kernel(4)
+        for i in range(ch.size):
+            assert ch.P[i, i] >= 0.5 - 1e-12
+
+    def test_mixing_within_corollary64(self):
+        from repro.coupling.recovery import corollary64_bound
+
+        for n in (4, 5):
+            tau = exact_mixing_time(edge_orientation_kernel(n), 0.25)
+            assert tau <= corollary64_bound(n, 0.25)
+
+
+class TestMetric:
+    @pytest.fixture(scope="class")
+    def metric5(self):
+        return EdgeOrientationMetric(5)
+
+    def test_is_metric(self, metric5):
+        metric5.check_metric()
+
+    def test_gamma_distances_nominal(self, metric5):
+        metric5.check_gamma_distances()
+
+    def test_gbar_symmetric(self, metric5):
+        for x in metric5.states:
+            for y in metric5.g_neighbors(x):
+                assert x in metric5.g_neighbors(y)
+
+    def test_distance_one_iff_gbar(self, metric5):
+        for x in metric5.states:
+            nbrs = set(metric5.g_neighbors(x))
+            for y in metric5.states:
+                if metric5.delta(x, y) == 1:
+                    assert y in nbrs
+
+    def test_max_distance_order_n_squared(self):
+        # Paper: diameter is O(n^2); check it stays under n^2 for small n.
+        for n in (4, 5, 6):
+            m = EdgeOrientationMetric(n)
+            assert 1 <= m.max_distance() <= n * n
+
+    def test_unknown_state_raises(self, metric5):
+        with pytest.raises(KeyError):
+            metric5.delta((99,) * metric5.k_classes, metric5.states[0])
+
+    def test_s_pairs_have_zero_gap(self, metric5):
+        for x in metric5.states:
+            for y, k in metric5.s_pairs_of(x):
+                assert k >= 1
+
+    def test_n6_has_k_ge_2_pairs(self):
+        """n = 6 is the smallest size exercising Lemma 6.3's k >= 2 case."""
+        m6 = EdgeOrientationMetric(6)
+        ks = {k for _, _, k in m6.gamma_pairs()}
+        assert any(k >= 2 for k in ks)
+
+
+class TestCarpool:
+    def test_debts_sum_zero(self):
+        cp = CarpoolSimulator(8, 2, seed=0)
+        cp.run(500)
+        assert sum(cp.debts) == 0
+
+    def test_unfairness_small(self):
+        cp = CarpoolSimulator(30, 2, seed=1)
+        cp.run(3000)
+        assert float(cp.unfairness) <= 3.0
+
+    def test_k3_fractional_debts(self):
+        cp = CarpoolSimulator(9, 3, seed=2)
+        cp.run(100)
+        # Debts are multiples of 1/3.
+        for d in cp.debts:
+            assert (d * 3).denominator == 1
+
+    def test_greedy_picks_min_debt(self):
+        cp = CarpoolSimulator(4, 2, seed=3)
+        driver = cp.step_with(np.array([0, 1]))
+        assert driver == 0  # tie broken by index
+        driver2 = cp.step_with(np.array([0, 1]))
+        assert driver2 == 1  # now 0 has higher debt
+
+    def test_subset_distinct_required(self):
+        cp = CarpoolSimulator(4, 2)
+        with pytest.raises(ValueError, match="distinct"):
+            cp.step_with(np.array([1, 1]))
+
+    def test_k_bounds(self):
+        with pytest.raises(ValueError):
+            CarpoolSimulator(3, 1)
+        with pytest.raises(ValueError):
+            CarpoolSimulator(3, 4)
+
+    def test_mean_unfairness(self):
+        cp = CarpoolSimulator(16, 2, seed=4)
+        assert cp.mean_unfairness(500, burn_in=100) > 0
+
+    def test_repr(self):
+        assert "CarpoolSimulator" in repr(CarpoolSimulator(4, 2))

@@ -1,0 +1,46 @@
+"""End-to-end smoke tests: every example script must run clean.
+
+Each example is executed as a subprocess (the way a user runs it);
+stdout is checked for its headline content.  Marked slow — together
+they take a couple of minutes.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+_CASES = {
+    "quickstart.py": ("recovered:", 120),
+    "dynamic_resource_allocation.py": ("random job (A)", 300),
+    "fair_scheduling.py": ("greedy repaired it", 300),
+    "path_coupling_verification.py": ("QED (by machine)", 300),
+    "typical_state_and_recovery.py": ("max load after recovery", 300),
+    "adaptive_rules_comparison.py": ("ADAP design space", 300),
+    "perfect_sampling.py": ("EXACTLY", 300),
+}
+
+
+def test_every_example_is_covered():
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    assert on_disk == set(_CASES), (
+        "examples/ and the test table drifted apart: "
+        f"{on_disk.symmetric_difference(set(_CASES))}"
+    )
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", sorted(_CASES))
+def test_example_runs(name):
+    marker, timeout = _CASES[name]
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert marker in proc.stdout

@@ -1,0 +1,112 @@
+"""Smoke tests for all experiment drivers E1–E14."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, get_experiment, run_experiment
+from repro.experiments.base import ExperimentResult, check_scale
+from repro.experiments.registry import TITLES
+
+
+class TestRegistry:
+    def test_fifteen_experiments(self):
+        assert len(EXPERIMENTS) == 15
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 16)}
+
+    def test_titles_present(self):
+        assert all(TITLES[eid] for eid in EXPERIMENTS)
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError, match="unknown"):
+            get_experiment("E99")
+
+    def test_check_scale(self):
+        assert check_scale("smoke") == "smoke"
+        with pytest.raises(ValueError):
+            check_scale("huge")
+
+
+class TestResultRendering:
+    def test_render_contains_tables_and_verdict(self):
+        r = run_experiment("E5", scale="smoke", seed=0)
+        text = r.render()
+        assert "[E5]" in text and "verdict:" in text
+        assert str(r) == text
+
+
+# Fast experiments run in full; the slower ones are exercised too but
+# marked so a quick dev loop can deselect them (-m "not slow").
+_FAST = ["E2", "E3", "E4", "E5", "E7", "E8", "E9", "E11", "E12", "E13", "E14", "E15"]
+_SLOW = ["E1", "E6", "E10"]
+
+
+@pytest.mark.parametrize("eid", _FAST)
+def test_experiment_runs_and_passes(eid):
+    r = run_experiment(eid, scale="smoke", seed=0)
+    assert isinstance(r, ExperimentResult)
+    assert r.tables and r.data
+    assert "VIOLATED" not in r.verdict and "FAILURE" not in r.verdict
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("eid", _SLOW)
+def test_slow_experiment_runs_and_passes(eid):
+    r = run_experiment(eid, scale="smoke", seed=0)
+    assert isinstance(r, ExperimentResult)
+    assert "VIOLATED" not in r.verdict and "FAILURE" not in r.verdict
+
+
+class TestSpecificClaims:
+    """The headline numbers each experiment must reproduce."""
+
+    def test_e3_scenario_b_harder(self):
+        r = run_experiment("E3", scale="smoke", seed=1)
+        assert r.data["within"]
+        assert r.data["b_over_a"][-1] > 1.0  # B strictly harder
+        assert 1.5 <= r.data["exponent"] <= 3.2
+
+    def test_e4_improvement_over_ajtai(self):
+        r = run_experiment("E4", scale="smoke", seed=1)
+        assert r.data["within"]
+        assert r.data["improvement_factor"][-1] > 100
+        assert 1.5 <= r.data["exponent"] <= 2.8
+
+    def test_e5_power_of_two_choices(self):
+        r = run_experiment("E5", scale="smoke", seed=1)
+        assert r.data["drop_12"] > r.data["drop_23"]
+
+    def test_e9_cor42_exact_tightness(self):
+        r = run_experiment("E9", scale="smoke", seed=0)
+        checks = r.data["lemma_checks"]
+        assert checks["cor42_worst"] == pytest.approx(checks["cor42_value"])
+        assert checks["lemma62_margin"] >= checks["required_drift"] - 1e-12
+
+    def test_e12_lower_bound_shapes(self):
+        r = run_experiment("E12", scale="smoke", seed=0)
+        assert r.data["exponent_diag"] >= 1.8  # Omega(m^2) visible
+        assert r.data["ratios_nm"][-1] >= 0.5  # Omega(n*m) visible
+
+    def test_e13_exact_correspondence(self):
+        r = run_experiment("E13", scale="smoke", seed=0)
+        assert r.data["correspondence_gap"] == 0.0
+
+    def test_e14_relocation_helps(self):
+        r = run_experiment("E14", scale="smoke", seed=0)
+        best = r.data["p=1.0"]["median"]
+        base = r.data["p=0.0"]["median"]
+        assert best < base
+
+
+class TestReportClaims:
+    def test_paper_claims_cover_all_experiments(self):
+        from repro.experiments.report import PAPER_CLAIMS
+
+        assert set(PAPER_CLAIMS) == set(EXPERIMENTS)
+
+    def test_claims_are_substantive(self):
+        from repro.experiments.report import PAPER_CLAIMS
+
+        for eid, claim in PAPER_CLAIMS.items():
+            assert "Expected" in claim or "exactly" in claim, (
+                f"{eid} claim states no verifiable expectation"
+            )
+            assert len(claim) > 80, f"{eid} claim too thin"

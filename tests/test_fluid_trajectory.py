@@ -1,0 +1,83 @@
+"""Tests for fluid-vs-simulation recovery trajectories and ADAP kernels."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.fluid.trajectory import compare_recovery_trajectory, crash_profile
+
+
+class TestCrashProfile:
+    def test_mass_is_m_over_n(self):
+        s0 = crash_profile(6, 12, levels=10)
+        assert s0.sum() == pytest.approx(6 / 12)
+        assert (s0[:6] == 1 / 12).all() and (s0[6:] == 0).all()
+
+    def test_levels_check(self):
+        with pytest.raises(ValueError):
+            crash_profile(10, 4, levels=5)
+
+
+class TestRecoveryTrajectory:
+    @pytest.mark.parametrize("scenario", ["a", "b"])
+    def test_fluid_tracks_simulation(self, scenario):
+        r = compare_recovery_trajectory(
+            240, scenario=scenario, replicas=15, seed=1
+        )
+        assert r["max_gap"] < 0.02
+        # Both curves actually move (the comparison is not vacuous).
+        assert abs(r["fluid"][-1] - r["fluid"][0]) > 0.05
+
+    def test_scenario_b_converges_slower(self):
+        ra = compare_recovery_trajectory(240, scenario="a", replicas=10, seed=2)
+        rb = compare_recovery_trajectory(240, scenario="b", replicas=10, seed=2)
+        # At the first checkpoint, A's fluid curve is closer to its own
+        # final value than B's is to B's — the rate difference the
+        # paper's theorems formalize, visible in the fluid itself.
+        gap_a = abs(ra["fluid"][1] - ra["fluid"][-1]) / max(abs(ra["fluid"][-1]), 1e-9)
+        gap_b = abs(rb["fluid"][1] - rb["fluid"][-1]) / max(abs(rb["fluid"][-1]), 1e-9)
+        assert gap_a < gap_b
+
+    def test_divisibility_check(self):
+        with pytest.raises(ValueError):
+            compare_recovery_trajectory(10, crash_levels=3)
+
+
+class TestAdapExactKernelAgainstBruteForce:
+    """The ADAP insertion DP vs literal enumeration of all sources."""
+
+    @pytest.mark.parametrize(
+        "loads",
+        [(3, 2, 1, 0), (2, 2, 2), (5, 0, 0, 0), (1, 1, 0, 0, 0)],
+    )
+    def test_dp_matches_enumeration(self, loads):
+        from repro.balls.rules import AdaptiveRule, threshold_chi
+
+        rule = AdaptiveRule(threshold_chi(1, 3, 2))
+        v = np.array(loads, dtype=np.int64)
+        n = v.shape[0]
+        length = rule.source_length(v)
+        pmf = np.zeros(n)
+        for src in itertools.product(range(n), repeat=length):
+            pmf[rule.select_from_source(v, np.array(src))] += 1.0 / n**length
+        assert np.allclose(pmf, rule.insertion_distribution(v), atol=1e-12)
+
+    def test_kernel_with_adap_rule_is_stochastic(self):
+        from repro.balls.rules import AdaptiveRule, threshold_chi
+        from repro.markov import scenario_a_kernel
+        from repro.markov.ergodicity import is_ergodic
+
+        rule = AdaptiveRule(threshold_chi(1, 2, 1))
+        ch = scenario_a_kernel(rule, 3, 4)
+        assert np.allclose(ch.P.sum(axis=1), 1.0)
+        assert is_ergodic(ch)
+
+    def test_adap_kernel_mixing_within_theorem1(self):
+        from repro.balls.rules import AdaptiveRule, threshold_chi
+        from repro.coupling.recovery import theorem1_bound
+        from repro.markov import exact_mixing_time, scenario_a_kernel
+
+        rule = AdaptiveRule(threshold_chi(1, 3, 2))
+        tau = exact_mixing_time(scenario_a_kernel(rule, 3, 5), 0.25)
+        assert tau <= theorem1_bound(5, 0.25)

@@ -1,0 +1,178 @@
+"""Integration tests: simulators vs exact kernels vs fluid vs theory.
+
+These tests tie the subsystems together: the fast simulators must agree
+in distribution with the exact kernels; coalescence times must respect
+exact mixing; the fluid substrate must match long simulations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.balls.load_vector import LoadVector
+from repro.balls.rules import ABKURule
+from repro.balls.scenario_a import ScenarioAProcess
+from repro.balls.scenario_b import ScenarioBProcess
+from repro.coupling.grand import coalescence_time_a
+from repro.coupling.recovery import theorem1_bound
+from repro.markov import (
+    exact_mixing_time,
+    scenario_a_kernel,
+    scenario_b_kernel,
+    stationary_distribution,
+)
+
+
+class TestSimulatorVsKernel:
+    """Empirical one-step transition frequencies match the exact rows."""
+
+    @pytest.mark.parametrize("scenario", ["a", "b"])
+    def test_one_step_law(self, abku2, scenario):
+        n, m = 3, 4
+        kernel = scenario_a_kernel if scenario == "a" else scenario_b_kernel
+        proc_cls = ScenarioAProcess if scenario == "a" else ScenarioBProcess
+        ch = kernel(abku2, n, m)
+        start = (2, 1, 1)
+        row = ch.P[ch.index_of(start)]
+        counts: dict = {}
+        trials = 8000
+        rng = np.random.default_rng(0)
+        for _ in range(trials):
+            p = proc_cls(abku2, LoadVector(list(start), normalize=False), seed=rng)
+            p.step()
+            s = p.state.as_tuple()
+            counts[s] = counts.get(s, 0) + 1
+        for s, c in counts.items():
+            assert abs(c / trials - row[ch.index_of(s)]) < 0.03
+
+    @pytest.mark.parametrize("scenario", ["a", "b"])
+    def test_long_run_matches_stationary(self, abku2, scenario):
+        """Occupation frequencies of a long run match the exact π."""
+        n, m = 3, 3
+        kernel = scenario_a_kernel if scenario == "a" else scenario_b_kernel
+        proc_cls = ScenarioAProcess if scenario == "a" else ScenarioBProcess
+        ch = kernel(abku2, n, m)
+        pi = stationary_distribution(ch)
+        proc = proc_cls(abku2, LoadVector.all_in_one(m, n), seed=7)
+        proc.run(200)  # burn-in
+        counts = np.zeros(ch.size)
+        steps = 30000
+        for _ in range(steps):
+            proc.step()
+            counts[ch.index_of(proc.state.as_tuple())] += 1
+        assert np.abs(counts / steps - pi).max() < 0.02
+
+
+class TestEdgeSimulatorVsKernel:
+    def test_one_step_law(self):
+        from repro.edgeorient.chain import edge_orientation_kernel
+        from repro.edgeorient.greedy import EdgeOrientationProcess
+
+        ch = edge_orientation_kernel(4)
+        start = (1, 0, 0, -1)
+        row = ch.P[ch.index_of(start)]
+        counts: dict = {}
+        trials = 8000
+        rng = np.random.default_rng(1)
+        for _ in range(trials):
+            p = EdgeOrientationProcess(list(start), lazy=True, seed=rng)
+            p.step()
+            counts[p.state] = counts.get(p.state, 0) + 1
+        for s, c in counts.items():
+            assert abs(c / trials - row[ch.index_of(s)]) < 0.03
+
+    def test_long_run_matches_stationary(self):
+        from repro.edgeorient.chain import edge_orientation_kernel
+        from repro.edgeorient.greedy import EdgeOrientationProcess
+
+        ch = edge_orientation_kernel(4)
+        pi = stationary_distribution(ch)
+        p = EdgeOrientationProcess(4, lazy=True, seed=2)
+        p.run(500)
+        counts = np.zeros(ch.size)
+        steps = 30000
+        for _ in range(steps):
+            p.step()
+            counts[ch.index_of(p.state)] += 1
+        assert np.abs(counts / steps - pi).max() < 0.02
+
+
+class TestCouplingVsMixing:
+    def test_coalescence_dominates_exact_mixing(self, abku2):
+        """Coupling inequality: the q-quantile of the coalescence time
+        upper-bounds tau(1-q)... empirically, median coalescence should
+        not be far below the exact tau(1/4)."""
+        n = m = 6
+        ch = scenario_a_kernel(abku2, n, m)
+        tau = exact_mixing_time(ch, 0.25)
+        times = [
+            coalescence_time_a(
+                abku2,
+                LoadVector.all_in_one(m, n),
+                LoadVector.balanced(m, n),
+                seed=k,
+            )
+            for k in range(30)
+        ]
+        # 75%-quantile of coalescence from the worst pair is a valid
+        # tau(1/4) upper bound (coupling inequality), so it must be >= ...
+        # no strict relation both ways; we check the sandwich loosely:
+        q75 = float(np.quantile(times, 0.75))
+        assert q75 >= tau * 0.3
+        assert q75 <= theorem1_bound(m, 0.25)
+
+    def test_exact_mixing_within_theorem1(self, abku2):
+        for n, m in ((3, 4), (4, 4), (3, 6)):
+            ch = scenario_a_kernel(abku2, n, m)
+            assert exact_mixing_time(ch, 0.25) <= theorem1_bound(m, 0.25)
+
+
+class TestFluidVsSimulation:
+    def test_scenario_a_tail_matches(self, abku2):
+        from repro.fluid.equilibrium import fixed_point
+
+        n = 1500
+        fp = fixed_point(2, 1.0, scenario="a")
+        proc = ScenarioAProcess(abku2, LoadVector.random(n, n, 3), seed=4)
+        proc.run(30 * n)
+        v = proc.loads
+        for i in (1, 2, 3):
+            assert abs(float((v >= i).mean()) - fp[i]) < 0.03
+
+    def test_scenario_b_tail_matches(self, abku2):
+        from repro.fluid.equilibrium import fixed_point
+
+        n = 1500
+        fp = fixed_point(2, 1.0, scenario="b")
+        proc = ScenarioBProcess(abku2, LoadVector.random(n, n, 5), seed=6)
+        proc.run(30 * n)
+        v = proc.loads
+        for i in (1, 2, 3):
+            assert abs(float((v >= i).mean()) - fp[i]) < 0.03
+
+
+class TestPublicAPI:
+    def test_quickstart_pattern(self):
+        """The README quickstart must work as written."""
+        from repro import (
+            ABKURule,
+            LoadVector,
+            ScenarioAProcess,
+            theorem1_bound,
+        )
+
+        rule = ABKURule(2)
+        crash = LoadVector.all_in_one(100, 100)
+        proc = ScenarioAProcess(rule, crash, seed=0)
+        proc.run(theorem1_bound(100))
+        assert proc.max_load <= 5
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None

@@ -1,0 +1,88 @@
+"""Tests for certified mixing-time lower bounds."""
+
+import numpy as np
+import pytest
+
+from repro.balls.rules import ABKURule
+from repro.edgeorient.chain import edge_orientation_kernel
+from repro.markov import (
+    FiniteMarkovChain,
+    exact_mixing_time,
+    scenario_a_kernel,
+    scenario_b_kernel,
+)
+from repro.markov.lower_bounds import (
+    reachability_lower_bound,
+    relaxation_lower_bound,
+)
+
+GRID = [(3, 4), (3, 6), (4, 4), (4, 6), (5, 5)]
+
+
+class TestSandwich:
+    """lower bound ≤ exact τ for every instance and both methods."""
+
+    @pytest.mark.parametrize("n,m", GRID)
+    @pytest.mark.parametrize("kernel", [scenario_a_kernel, scenario_b_kernel])
+    def test_balls(self, n, m, kernel, abku2):
+        ch = kernel(abku2, n, m)
+        tau = exact_mixing_time(ch, 0.25)
+        assert relaxation_lower_bound(ch, 0.25) <= tau
+        assert reachability_lower_bound(ch, 0.25) <= tau
+
+    @pytest.mark.parametrize("n", [3, 4, 5, 6])
+    def test_edge(self, n):
+        ch = edge_orientation_kernel(n)
+        tau = exact_mixing_time(ch, 0.25)
+        assert relaxation_lower_bound(ch, 0.25) <= tau
+        assert reachability_lower_bound(ch, 0.25) <= tau
+
+
+class TestReachability:
+    def test_crash_drain_scales_linearly_in_m(self, abku2):
+        """Scenario B from the crash needs ≥ ~m·(1−1/n) phases just to
+        move the balls — the certified drain lower bound."""
+        lbs = []
+        for m in (6, 12, 24):
+            ch = scenario_b_kernel(abku2, 3, m)
+            lbs.append(reachability_lower_bound(ch, 0.25))
+        # Roughly doubles with m.
+        assert lbs[1] >= 1.7 * lbs[0]
+        assert lbs[2] >= 1.7 * lbs[1]
+
+    def test_two_state_value(self):
+        # From x, one step reaches everything: lower bound is 1 when
+        # pi(x) < 1 - eps.
+        ch = FiniteMarkovChain(["x", "y"], np.array([[0.9, 0.1], [0.2, 0.8]]))
+        assert reachability_lower_bound(ch, 0.25) == 1
+
+    def test_reducible_detected(self):
+        ch = FiniteMarkovChain([0, 1], np.eye(2))
+        with pytest.raises(ValueError):
+            reachability_lower_bound(ch, 0.25)
+
+    def test_eps_validation(self, abku2):
+        ch = scenario_a_kernel(abku2, 3, 3)
+        with pytest.raises(ValueError):
+            reachability_lower_bound(ch, 0.0)
+        with pytest.raises(ValueError):
+            relaxation_lower_bound(ch, 0.6)
+
+
+class TestRelaxation:
+    def test_diagonal_lower_bound_grows_quadratically(self, abku2):
+        """The Ω(m²) diagonal, certified: the relaxation lower bound on
+        the m = n diagonal of scenario B grows superlinearly."""
+        lbs = []
+        for k in (4, 6, 8):
+            ch = scenario_b_kernel(abku2, k, k)
+            lbs.append(relaxation_lower_bound(ch, 0.05))
+        ratios = [b / a for a, b in zip(lbs, lbs[1:])]
+        # m grows by 1.5x and 1.33x; quadratic growth predicts ratios
+        # ~2.25 and ~1.78; demand clearly superlinear growth.
+        assert ratios[0] > 1.6 and ratios[1] > 1.4
+
+    def test_periodic_rejected(self):
+        flip = FiniteMarkovChain([0, 1], np.array([[0.0, 1.0], [1.0, 0.0]]))
+        with pytest.raises(ValueError):
+            relaxation_lower_bound(flip)

@@ -1,0 +1,109 @@
+"""Tests for majorization monotonicity and monotone CFTP."""
+
+import numpy as np
+import pytest
+
+from repro.balls.majorization import (
+    MonotonicityViolation,
+    bottom_state,
+    check_monotone_phase,
+    majorizes,
+    top_state,
+)
+from repro.balls.rules import ABKURule
+from repro.markov import scenario_a_kernel, stationary_distribution
+from repro.markov.cftp import monotone_cftp_sample
+
+
+class TestMajorizes:
+    def test_reflexive(self):
+        v = np.array([3, 2, 1], dtype=np.int64)
+        assert majorizes(v, v)
+
+    def test_crash_majorizes_everything(self):
+        from repro.utils.partitions import all_partitions
+
+        top = top_state(6, 4)
+        for s in all_partitions(6, 4):
+            assert majorizes(top, np.array(s, dtype=np.int64))
+
+    def test_balanced_majorized_by_everything(self):
+        from repro.utils.partitions import all_partitions
+
+        bot = bottom_state(6, 4)
+        for s in all_partitions(6, 4):
+            assert majorizes(np.array(s, dtype=np.int64), bot)
+
+    def test_incomparable_pair(self):
+        # (3,3,0) vs (4,1,1): prefix sums 3,6,6 vs 4,5,6 — incomparable.
+        a = np.array([3, 3, 0], dtype=np.int64)
+        b = np.array([4, 1, 1], dtype=np.int64)
+        assert not majorizes(a, b) and not majorizes(b, a)
+
+    def test_unequal_totals_rejected(self):
+        with pytest.raises(ValueError):
+            majorizes(np.array([2, 0]), np.array([2, 1]))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            majorizes(np.array([2]), np.array([1, 1]))
+
+
+class TestMonotonicity:
+    @pytest.mark.parametrize("d", [1, 2, 3])
+    def test_scenario_a_phase_monotone(self, d):
+        """The structural fact behind monotone CFTP, checked exhaustively."""
+        check_monotone_phase(ABKURule(d), 4, (3, 4, 5), scenario="a")
+
+    def test_scenario_b_removal_not_monotone(self, abku2):
+        """Scenario B's removal breaks ⪰ — another face of 'B is harder'."""
+        with pytest.raises(MonotonicityViolation, match="removal"):
+            check_monotone_phase(abku2, 4, (4, 5, 6), scenario="b")
+
+
+class TestMonotoneCFTP:
+    def test_valid_state(self, abku2):
+        s = monotone_cftp_sample(abku2, 5, 7, seed=0)
+        assert sum(s) == 7 and len(s) == 5
+        assert all(s[i] >= s[i + 1] for i in range(4))
+
+    def test_matches_exact_stationary(self, abku2):
+        ch = scenario_a_kernel(abku2, 3, 4)
+        pi = stationary_distribution(ch)
+        counts = np.zeros(ch.size)
+        N = 2500
+        for k in range(N):
+            counts[ch.index_of(monotone_cftp_sample(abku2, 3, 4, seed=k))] += 1
+        assert np.abs(counts / N - pi).max() < 0.03
+
+    def test_matches_exhaustive_cftp_distribution(self, abku2):
+        """Monotone and exhaustive CFTP sample the same law."""
+        from repro.markov.cftp import cftp_samples
+        from repro.utils.rng import spawn_generators
+
+        n, m = 3, 3
+        ch = scenario_a_kernel(abku2, n, m)
+        mono = np.zeros(ch.size)
+        N = 1500
+        for k in range(N):
+            mono[ch.index_of(monotone_cftp_sample(abku2, n, m, seed=k))] += 1
+        full = np.zeros(ch.size)
+        for s in cftp_samples(abku2, n, m, N, seed=9):
+            full[ch.index_of(s)] += 1
+        assert np.abs(mono / N - full / N).max() < 0.04
+
+    def test_scales_to_large_instances(self, abku2):
+        """Perfect sampling at n = m = 150: max load lands in the
+        fluid-predicted band."""
+        from repro.fluid.equilibrium import fixed_point, predicted_max_load_from_tail
+
+        s = monotone_cftp_sample(abku2, 150, 150, seed=3)
+        predicted = predicted_max_load_from_tail(
+            fixed_point(2, 1.0, scenario="a"), 150
+        )
+        assert abs(s[0] - predicted) <= 2
+
+    def test_deterministic(self, abku2):
+        assert monotone_cftp_sample(abku2, 4, 6, seed=11) == monotone_cftp_sample(
+            abku2, 4, 6, seed=11
+        )

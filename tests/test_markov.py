@@ -1,0 +1,233 @@
+"""Tests for the finite Markov chain substrate."""
+
+import numpy as np
+import pytest
+
+from repro.balls.rules import ABKURule
+from repro.markov import (
+    FiniteMarkovChain,
+    exact_mixing_time,
+    is_aperiodic,
+    is_irreducible,
+    open_bounded_kernel,
+    relaxation_time,
+    scenario_a_kernel,
+    scenario_b_kernel,
+    spectral_gap,
+    stationary_distribution,
+    tv_decay,
+    tv_distance,
+)
+from repro.markov.ergodicity import is_ergodic, period
+from repro.markov.spectral import eigenvalues, slem
+from repro.markov.stationary import expected_stat, power_iteration
+
+
+@pytest.fixture
+def two_state():
+    """Simple asymmetric two-state chain with known stationary (2/3, 1/3)."""
+    P = np.array([[0.9, 0.1], [0.2, 0.8]])
+    return FiniteMarkovChain(["x", "y"], P)
+
+
+class TestFiniteMarkovChain:
+    def test_validation_row_sums(self):
+        with pytest.raises(ValueError, match="row-stochastic"):
+            FiniteMarkovChain([0, 1], np.array([[0.5, 0.4], [0, 1]]))
+
+    def test_validation_negative(self):
+        with pytest.raises(ValueError, match="negative"):
+            FiniteMarkovChain([0, 1], np.array([[1.5, -0.5], [0, 1]]))
+
+    def test_validation_square(self):
+        with pytest.raises(ValueError, match="square"):
+            FiniteMarkovChain([0], np.ones((1, 2)))
+
+    def test_validation_state_count(self):
+        with pytest.raises(ValueError, match="states"):
+            FiniteMarkovChain([0], np.eye(2))
+
+    def test_duplicate_states(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            FiniteMarkovChain(["a", "a"], np.eye(2))
+
+    def test_indexing(self, two_state):
+        assert two_state.index_of("y") == 1
+        assert two_state.state_of(0) == "x"
+        assert two_state.size == 2
+
+    def test_point_mass_and_step(self, two_state):
+        d = two_state.point_mass("x")
+        assert d.tolist() == [1.0, 0.0]
+        d1 = two_state.step_distribution(d)
+        assert np.allclose(d1, [0.9, 0.1])
+
+    def test_power(self, two_state):
+        assert np.allclose(two_state.power(0), np.eye(2))
+        assert np.allclose(two_state.power(2), two_state.P @ two_state.P)
+
+    def test_power_negative(self, two_state):
+        with pytest.raises(ValueError):
+            two_state.power(-1)
+
+
+class TestStationary:
+    def test_two_state_known(self, two_state):
+        pi = stationary_distribution(two_state)
+        assert np.allclose(pi, [2 / 3, 1 / 3])
+
+    def test_invariance(self, two_state):
+        pi = stationary_distribution(two_state)
+        assert np.allclose(pi @ two_state.P, pi)
+
+    def test_power_iteration_agrees(self, two_state):
+        a = stationary_distribution(two_state)
+        b = power_iteration(two_state)
+        assert np.allclose(a, b, atol=1e-8)
+
+    def test_expected_stat(self, two_state):
+        pi = stationary_distribution(two_state)
+        val = expected_stat(two_state, pi, lambda s: 1.0 if s == "x" else 0.0)
+        assert val == pytest.approx(2 / 3)
+
+    def test_kernel_stationary_positive(self, abku2):
+        ch = scenario_a_kernel(abku2, 4, 4)
+        pi = stationary_distribution(ch)
+        assert (pi > 0).all() and pi.sum() == pytest.approx(1.0)
+
+
+class TestTVAndMixing:
+    def test_tv_distance_basics(self):
+        assert tv_distance([1, 0], [0, 1]) == 1.0
+        assert tv_distance([0.5, 0.5], [0.5, 0.5]) == 0.0
+
+    def test_tv_distance_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            tv_distance([1.0], [0.5, 0.5])
+
+    def test_tv_decay_monotone(self, abku2):
+        ch = scenario_a_kernel(abku2, 3, 3)
+        d = tv_decay(ch, 30)
+        assert (np.diff(d) <= 1e-12).all()
+        assert d[0] > d[-1]
+
+    def test_mixing_time_definition(self, abku2):
+        ch = scenario_a_kernel(abku2, 3, 3)
+        tau = exact_mixing_time(ch, 0.25)
+        d = tv_decay(ch, tau + 2)
+        assert d[tau] <= 0.25
+        if tau > 0:
+            assert d[tau - 1] > 0.25
+
+    def test_mixing_eps_monotone(self, abku2):
+        ch = scenario_a_kernel(abku2, 4, 4)
+        assert exact_mixing_time(ch, 0.1) >= exact_mixing_time(ch, 0.4)
+
+    def test_mixing_invalid_eps(self, two_state):
+        with pytest.raises(ValueError):
+            exact_mixing_time(two_state, 0.0)
+
+    def test_mixing_cap_raises(self, abku2):
+        ch = scenario_a_kernel(abku2, 4, 4)
+        with pytest.raises(RuntimeError):
+            exact_mixing_time(ch, 0.001, t_max=1)
+
+
+class TestSpectral:
+    def test_top_eigenvalue_is_one(self, two_state):
+        vals = eigenvalues(two_state)
+        assert abs(vals[0] - 1.0) < 1e-10
+
+    def test_two_state_slem(self, two_state):
+        # Eigenvalues of [[.9,.1],[.2,.8]] are 1 and 0.7.
+        assert slem(two_state) == pytest.approx(0.7)
+
+    def test_gap_and_relaxation(self, two_state):
+        assert spectral_gap(two_state) == pytest.approx(0.3)
+        assert relaxation_time(two_state) == pytest.approx(1 / 0.3)
+
+    def test_relaxation_infinite_for_periodic(self):
+        flip = FiniteMarkovChain([0, 1], np.array([[0.0, 1.0], [1.0, 0.0]]))
+        assert relaxation_time(flip) == float("inf")
+
+    def test_relaxation_lower_bounds_mixing(self, abku2):
+        # Standard fact: tau(1/4) >= (t_rel - 1) * ln 2.
+        ch = scenario_a_kernel(abku2, 4, 5)
+        tau = exact_mixing_time(ch, 0.25)
+        assert tau >= (relaxation_time(ch) - 1.0) * np.log(2) - 1e-9
+
+
+class TestErgodicity:
+    def test_irreducible_kernels(self, abku2, small_nm):
+        n, m = small_nm
+        assert is_irreducible(scenario_a_kernel(abku2, n, m))
+        assert is_irreducible(scenario_b_kernel(abku2, n, m))
+
+    def test_periodic_chain_detected(self):
+        flip = FiniteMarkovChain([0, 1], np.array([[0.0, 1.0], [1.0, 0.0]]))
+        assert is_irreducible(flip)
+        assert period(flip) == 2
+        assert not is_aperiodic(flip)
+        assert not is_ergodic(flip)
+
+    def test_reducible_chain_detected(self):
+        ch = FiniteMarkovChain([0, 1], np.eye(2))
+        assert not is_irreducible(ch)
+        assert not is_ergodic(ch)
+
+    def test_period_requires_irreducible(self):
+        ch = FiniteMarkovChain([0, 1], np.eye(2))
+        with pytest.raises(ValueError):
+            period(ch)
+
+    def test_kernels_ergodic(self, abku2):
+        assert is_ergodic(scenario_a_kernel(abku2, 3, 4))
+        assert is_ergodic(scenario_b_kernel(abku2, 3, 4))
+        assert is_ergodic(open_bounded_kernel(abku2, 3, 4))
+
+
+class TestKernels:
+    def test_state_space_size(self, abku2):
+        from repro.utils.partitions import num_partitions
+
+        ch = scenario_a_kernel(abku2, 4, 6)
+        assert ch.size == num_partitions(6, 4)
+
+    def test_rows_stochastic_by_construction(self, abku2, small_nm):
+        n, m = small_nm
+        for kern in (scenario_a_kernel, scenario_b_kernel):
+            ch = kern(abku2, n, m)
+            assert np.allclose(ch.P.sum(axis=1), 1.0)
+
+    def test_scenario_a_vs_b_differ(self, abku2):
+        a = scenario_a_kernel(abku2, 3, 4)
+        b = scenario_b_kernel(abku2, 3, 4)
+        assert not np.allclose(a.P, b.P)
+
+    def test_open_kernel_states(self, abku2):
+        from repro.utils.partitions import num_partitions
+
+        ch = open_bounded_kernel(abku2, 3, 3)
+        assert ch.size == sum(num_partitions(k, 3) for k in range(4))
+
+    def test_open_kernel_empty_state_laziness(self, abku2):
+        ch = open_bounded_kernel(abku2, 3, 2)
+        empty = ch.index_of((0, 0, 0))
+        assert ch.P[empty, empty] >= 0.5  # removal half is a self-loop
+
+    def test_open_kernel_cap_laziness(self, abku2):
+        ch = open_bounded_kernel(abku2, 2, 2)
+        full = ch.index_of((2, 0))
+        # Insertion half is a self-loop at the cap.
+        assert ch.P[full, full] >= 0.5 * 0.25  # at least removal-stay prob
+
+    def test_uniform_rule_kernel_symmetric_stationary(self):
+        """I_A with the uniform rule has a known reversible structure:
+        stationary probabilities proportional to multinomial weights."""
+        rule = ABKURule(1)
+        ch = scenario_a_kernel(rule, 2, 2)
+        pi = stationary_distribution(ch)
+        # States (2,0) and (1,1): multinomial weights 2/4 and 2/4 over
+        # ordered configs -> pi((1,1)) = 1/2, pi((2,0)) = 1/2.
+        assert pi[ch.index_of((1, 1))] == pytest.approx(0.5, abs=1e-10)
+        assert pi[ch.index_of((2, 0))] == pytest.approx(0.5, abs=1e-10)

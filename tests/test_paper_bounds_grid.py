@@ -1,0 +1,102 @@
+"""Grid validation: every paper bound dominates every exact mixing time.
+
+E9 spot-checks a few sizes; this file sweeps a grid of small instances
+(everything that solves in well under a second) so a regression in any
+bound formula, kernel, or mixing computation trips immediately.  Also
+cross-validates the stationary expected unfairness of the edge chain
+against simulation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.balls.rules import ABKURule, AdaptiveRule, threshold_chi
+from repro.coupling.recovery import (
+    claim53_bound,
+    corollary64_bound,
+    theorem1_bound,
+    theorem2_bound,
+)
+from repro.edgeorient.chain import edge_orientation_kernel
+from repro.edgeorient.greedy import EdgeOrientationProcess
+from repro.edgeorient.state import unfairness
+from repro.markov import (
+    exact_mixing_time,
+    scenario_a_kernel,
+    scenario_b_kernel,
+    stationary_distribution,
+)
+
+GRID = [(2, 2), (2, 4), (3, 3), (3, 4), (3, 5), (3, 6), (4, 4), (4, 5), (5, 5)]
+
+
+class TestTheorem1Grid:
+    @pytest.mark.parametrize("n,m", GRID)
+    @pytest.mark.parametrize("d", [1, 2, 3])
+    def test_abku(self, n, m, d):
+        tau = exact_mixing_time(scenario_a_kernel(ABKURule(d), n, m), 0.25)
+        assert tau <= theorem1_bound(m, 0.25)
+
+    @pytest.mark.parametrize("n,m", [(3, 4), (4, 4)])
+    def test_adap(self, n, m):
+        rule = AdaptiveRule(threshold_chi(1, 3, 2))
+        tau = exact_mixing_time(scenario_a_kernel(rule, n, m), 0.25)
+        assert tau <= theorem1_bound(m, 0.25)
+
+    @pytest.mark.parametrize("eps", [0.4, 0.25, 0.1, 0.05])
+    def test_eps_sweep(self, eps):
+        tau = exact_mixing_time(scenario_a_kernel(ABKURule(2), 3, 5), eps)
+        assert tau <= theorem1_bound(5, eps)
+
+
+class TestClaim53Grid:
+    @pytest.mark.parametrize("n,m", GRID)
+    def test_abku2(self, n, m):
+        tau = exact_mixing_time(scenario_b_kernel(ABKURule(2), n, m), 0.25)
+        assert tau <= claim53_bound(n, m, 0.25)
+
+    @pytest.mark.parametrize("eps", [0.4, 0.1])
+    def test_eps_sweep(self, eps):
+        tau = exact_mixing_time(scenario_b_kernel(ABKURule(2), 3, 4), eps)
+        assert tau <= claim53_bound(3, 4, eps)
+
+
+class TestEdgeGrid:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6])
+    def test_cor64(self, n):
+        tau = exact_mixing_time(edge_orientation_kernel(n), 0.25)
+        assert tau <= corollary64_bound(n, 0.25)
+
+    @pytest.mark.parametrize("n", [4, 5, 6])
+    def test_thm2_shape_not_violated_at_small_n(self, n):
+        """The n² ln²n shape with unit constant already dominates the
+        tiny-n exact values (no constant games needed)."""
+        tau = exact_mixing_time(edge_orientation_kernel(n), 0.25)
+        assert tau <= max(theorem2_bound(n), 25)
+
+    def test_stationary_unfairness_exact_vs_simulated(self):
+        """E_π[unfairness] from the exact π matches a long simulation."""
+        n = 5
+        ch = edge_orientation_kernel(n)
+        pi = stationary_distribution(ch)
+        exact = float(
+            sum(p * unfairness(s) for s, p in zip(ch.states, pi))
+        )
+        proc = EdgeOrientationProcess(n, lazy=True, seed=0)
+        proc.run(2000)  # burn-in
+        total = 0.0
+        steps = 60000
+        for _ in range(steps):
+            proc.step()
+            total += proc.unfairness
+        assert abs(total / steps - exact) < 0.02
+
+    def test_expected_unfairness_grows_slowly(self):
+        """E_π[unfairness] at n=6 barely exceeds n=4 — the Θ(log log n)
+        flatness visible in exact stationary laws."""
+        vals = {}
+        for n in (4, 6):
+            ch = edge_orientation_kernel(n)
+            pi = stationary_distribution(ch)
+            vals[n] = float(sum(p * unfairness(s) for s, p in zip(ch.states, pi)))
+        assert vals[6] < vals[4] + 0.6

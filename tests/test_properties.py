@@ -1,0 +1,222 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.balls.load_vector import (
+    LoadVector,
+    delta_distance,
+    l1_distance,
+    ominus,
+    oplus,
+)
+from repro.balls.rules import ABKURule, AdaptiveRule
+from repro.utils.fenwick import FenwickTree
+from repro.utils.partitions import normalize, num_partitions
+
+
+# -- strategies -------------------------------------------------------------
+
+loads_strategy = st.lists(st.integers(0, 12), min_size=1, max_size=10)
+
+
+def _normalized(loads: list[int]) -> np.ndarray:
+    return np.sort(np.array(loads, dtype=np.int64))[::-1].copy()
+
+
+# -- load vectors ------------------------------------------------------------
+
+class TestLoadVectorProperties:
+    @given(loads_strategy)
+    def test_normalization_idempotent(self, loads):
+        v = LoadVector(loads)
+        assert LoadVector(v.loads) == v
+
+    @given(loads_strategy, st.integers(0, 9))
+    def test_oplus_equals_sorted_add(self, loads, idx):
+        v = _normalized(loads)
+        i = idx % v.shape[0]
+        direct = v.copy()
+        direct[i] += 1
+        assert np.array_equal(oplus(v, i), np.sort(direct)[::-1])
+
+    @given(loads_strategy, st.integers(0, 9))
+    def test_ominus_inverts_oplus_in_multiset(self, loads, idx):
+        v = _normalized(loads)
+        i = idx % v.shape[0]
+        w = oplus(v, i)
+        # Removing a ball of the value we just created restores the
+        # original multiset (⊖ hits the last index of that value's run).
+        added_value = int(v[i]) + 1
+        pos = int(np.searchsorted(-w, -added_value, side="left"))
+        assert np.array_equal(ominus(w, pos), v)
+
+    @given(loads_strategy, loads_strategy)
+    def test_delta_symmetry(self, a, b):
+        va = _normalized(a)
+        vb = _normalized(b)
+        if va.shape != vb.shape or va.sum() != vb.sum():
+            return
+        assert delta_distance(va, vb) == delta_distance(vb, va)
+
+    @given(loads_strategy, loads_strategy, loads_strategy)
+    def test_l1_triangle_inequality(self, a, b, c):
+        n = min(len(a), len(b), len(c))
+        va, vb, vc = (_normalized(x[:n]) for x in (a, b, c))
+        assert l1_distance(va, vc) <= l1_distance(va, vb) + l1_distance(vb, vc)
+
+    @given(loads_strategy, st.integers(0, 9))
+    def test_oplus_preserves_normalization(self, loads, idx):
+        v = _normalized(loads)
+        out = oplus(v, idx % v.shape[0])
+        assert (np.diff(out) <= 0).all()
+
+
+# -- Fenwick tree ------------------------------------------------------------
+
+class TestFenwickProperties:
+    @given(st.lists(st.integers(0, 20), min_size=1, max_size=30))
+    def test_prefix_sums_match_cumsum(self, weights):
+        t = FenwickTree(weights)
+        c = np.cumsum([0] + weights)
+        for k in range(len(weights) + 1):
+            assert t.prefix_sum(k) == c[k]
+
+    @given(
+        st.lists(st.integers(0, 20), min_size=1, max_size=30),
+        st.data(),
+    )
+    def test_find_matches_searchsorted(self, weights, data):
+        total = sum(weights)
+        if total == 0:
+            return
+        t = FenwickTree(weights)
+        target = data.draw(st.integers(0, total - 1))
+        assert t.find(target) == int(
+            np.searchsorted(np.cumsum(weights), target, side="right")
+        )
+
+    @given(
+        st.lists(st.integers(0, 10), min_size=2, max_size=20),
+        st.lists(st.tuples(st.integers(0, 19), st.integers(-3, 5)), max_size=20),
+    )
+    def test_updates_stay_consistent(self, weights, updates):
+        t = FenwickTree(weights)
+        ref = list(weights)
+        for idx, delta in updates:
+            i = idx % len(ref)
+            if ref[i] + delta < 0:
+                continue
+            t.add(i, delta)
+            ref[i] += delta
+        assert t.to_array().tolist() == ref
+
+
+# -- partitions ---------------------------------------------------------------
+
+class TestPartitionProperties:
+    @given(st.integers(0, 12), st.integers(1, 6))
+    def test_count_recurrence(self, m, n):
+        # p(m, n) = p(m, n-1) + p(m-n, n)
+        if n >= 2:
+            assert num_partitions(m, n) == num_partitions(m, n - 1) + num_partitions(
+                m - n, n
+            )
+
+    @given(st.lists(st.integers(0, 9), min_size=1, max_size=8))
+    def test_normalize_sorted(self, v):
+        t = normalize(v)
+        assert list(t) == sorted(v, reverse=True)
+
+
+# -- scheduling rules ----------------------------------------------------------
+
+class TestRuleProperties:
+    @given(loads_strategy, st.integers(1, 4))
+    @settings(max_examples=40)
+    def test_abku_pmf_is_distribution(self, loads, d):
+        v = _normalized(loads)
+        pmf = ABKURule(d).insertion_distribution(v)
+        assert abs(pmf.sum() - 1.0) < 1e-9
+        assert (pmf >= -1e-12).all()
+
+    @given(loads_strategy, st.integers(1, 4))
+    @settings(max_examples=40)
+    def test_abku_pmf_monotone_nondecreasing_in_index(self, loads, d):
+        """Least-full-wins makes higher (normalized) indices more likely."""
+        v = _normalized(loads)
+        pmf = ABKURule(d).insertion_distribution(v)
+        assert (np.diff(pmf) >= -1e-12).all()
+
+    @given(loads_strategy)
+    @settings(max_examples=30)
+    def test_adap_pmf_is_distribution(self, loads):
+        v = _normalized(loads)
+        rule = AdaptiveRule(lambda load: min(load + 1, 3))
+        pmf = rule.insertion_distribution(v)
+        assert abs(pmf.sum() - 1.0) < 1e-9
+        assert (pmf >= -1e-12).all()
+
+    @given(loads_strategy, st.data())
+    @settings(max_examples=40)
+    def test_abku_select_from_source_in_range(self, loads, data):
+        v = _normalized(loads)
+        n = v.shape[0]
+        d = data.draw(st.integers(1, 3))
+        rs = np.array(
+            data.draw(st.lists(st.integers(0, n - 1), min_size=d, max_size=d))
+        )
+        j = ABKURule(d).select_from_source(v, rs)
+        assert 0 <= j < n
+
+
+# -- coupling invariants (the paper's core) -----------------------------------
+
+class TestCouplingProperties:
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_lemma33_never_expands(self, data):
+        """Lemma 3.3 as a property: coupled ABKU insertions never expand L1."""
+        from repro.balls.right_oriented import coupled_insertion
+
+        n = data.draw(st.integers(2, 6))
+        m = data.draw(st.integers(1, 10))
+        d = data.draw(st.integers(1, 3))
+        rule = ABKURule(d)
+        va = np.zeros(n, dtype=np.int64)
+        vb = np.zeros(n, dtype=np.int64)
+        for _ in range(m):
+            va[data.draw(st.integers(0, n - 1))] += 1
+            vb[data.draw(st.integers(0, n - 1))] += 1
+        va = np.sort(va)[::-1].copy()
+        vb = np.sort(vb)[::-1].copy()
+        rs = np.array(
+            data.draw(st.lists(st.integers(0, n - 1), min_size=d, max_size=d))
+        )
+        v0, u0 = coupled_insertion(rule, va, vb, rs)
+        assert l1_distance(v0, u0) <= l1_distance(va, vb)
+
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_scenario_a_coupled_step_never_expands(self, data):
+        """Lemma 4.1 as a property over random adjacent pairs."""
+        from repro.coupling.scenario_a_coupling import coupled_step_a
+
+        n = data.draw(st.integers(2, 6))
+        m = data.draw(st.integers(2, 10))
+        v = np.zeros(n, dtype=np.int64)
+        for _ in range(m):
+            v[data.draw(st.integers(0, n - 1))] += 1
+        v = np.sort(v)[::-1].copy()
+        # Build an adjacent neighbor.
+        src = data.draw(st.integers(0, n - 1))
+        dst = data.draw(st.integers(0, n - 1))
+        if v[src] == 0:
+            return
+        u = oplus(ominus(v, src), dst)
+        if np.array_equal(u, v):
+            return
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**31)))
+        v0, u0 = coupled_step_a(ABKURule(2), v, u, rng)
+        assert delta_distance(v0, u0) <= 1

@@ -1,0 +1,157 @@
+"""Tests for right-oriented functions: Definition 3.4, Lemmas 3.3 / 3.4."""
+
+import numpy as np
+import pytest
+
+from repro.balls.load_vector import l1_distance
+from repro.balls.right_oriented import (
+    OrientationViolation,
+    RightOrientedFunction,
+    check_right_oriented,
+    coupled_insertion,
+    iter_sources,
+)
+from repro.balls.rules import ABKURule, AdaptiveRule, SchedulingRule, threshold_chi
+
+
+class TestIterSources:
+    def test_count(self):
+        assert len(list(iter_sources(3, 2))) == 9
+
+    def test_values(self):
+        srcs = {tuple(s) for s in iter_sources(2, 2)}
+        assert srcs == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+
+class TestLemma34:
+    """ABKU[d] and ADAP(χ) are right-oriented (machine-checked Def 3.4)."""
+
+    @pytest.mark.parametrize("d", [1, 2, 3])
+    def test_abku(self, d):
+        assert check_right_oriented(ABKURule(d), 3, (2, 3)) == []
+
+    def test_abku_bigger_space(self):
+        assert check_right_oriented(ABKURule(2), 4, (3,)) == []
+
+    def test_adap_threshold(self):
+        rule = AdaptiveRule(threshold_chi(1, 3, 2))
+        assert check_right_oriented(rule, 3, (2, 3)) == []
+
+    def test_adap_linear(self):
+        rule = AdaptiveRule(lambda load: min(load + 1, 4))
+        assert check_right_oriented(rule, 3, (2, 4)) == []
+
+
+class _LeftOriented(SchedulingRule):
+    """A deliberately NOT right-oriented rule.
+
+    Places the ball into the *most* loaded of two sampled bins, breaking
+    ties toward the larger index.  The tie-break makes the choice
+    genuinely state-dependent (a state-independent D̄ satisfies
+    Definition 3.4 vacuously), and preferring heavy bins inverts the
+    orientation: e.g. v = (2,1,1), u = (2,2,0), b = (1,2) gives
+    D̄(v,b) = 2 > 1 = D̄(u,b) but v₁ = 1 < 2 = u₁, violating (ii).
+    """
+
+    def source_length(self, v):
+        return 2
+
+    def select_from_source(self, v, rs):
+        i, j = int(rs[0]), int(rs[1])
+        if v[i] == v[j]:
+            return max(i, j)
+        return i if v[i] > v[j] else j
+
+    def insertion_distribution(self, v):
+        n = v.shape[0]
+        pmf = np.zeros(n)
+        for i in range(n):
+            for j in range(n):
+                pmf[self.select_from_source(v, np.array([i, j]))] += 1.0 / n**2
+        return pmf
+
+
+class TestNegativeControl:
+    def test_left_oriented_detected(self):
+        violations = check_right_oriented(_LeftOriented(), 3, (3,))
+        assert violations
+        assert isinstance(violations[0], OrientationViolation)
+        assert "right-orientedness violated" in str(violations[0])
+
+    def test_collect_all_finds_more(self):
+        few = check_right_oriented(_LeftOriented(), 3, (3,))
+        many = check_right_oriented(_LeftOriented(), 3, (3,), collect_all=True)
+        assert len(many) > len(few) == 1
+
+
+class TestLemma33:
+    """Coupled insertion never increases the L1 distance."""
+
+    def test_exhaustive_small(self, abku2):
+        from repro.utils.partitions import all_partitions
+
+        states = [np.array(s, dtype=np.int64) for s in all_partitions(4, 3)]
+        for v in states:
+            for u in states:
+                for rs in iter_sources(3, 2):
+                    v0, u0 = coupled_insertion(abku2, v, u, rs)
+                    assert l1_distance(v0, u0) <= l1_distance(v, u)
+                    assert v0.sum() == v.sum() + 1
+
+    def test_identical_states_stay_identical(self, abku2):
+        v = np.array([2, 1, 0], dtype=np.int64)
+        for rs in iter_sources(3, 2):
+            v0, u0 = coupled_insertion(abku2, v, v.copy(), rs)
+            assert np.array_equal(v0, u0)
+
+    def test_guard_trips_on_expanding_rule(self):
+        """coupled_insertion's runtime invariant catches a rule whose
+        coupled choices genuinely expand the L1 distance."""
+
+        class _Expanding(SchedulingRule):
+            def source_length(self, v):
+                return 1
+
+            def select_from_source(self, v, rs):
+                # Push the two specific states apart.
+                return 2 if v.tolist() == [1, 1, 0] else 0
+
+            def insertion_distribution(self, v):
+                raise NotImplementedError
+
+        v = np.array([1, 1, 0], dtype=np.int64)
+        u = np.array([2, 0, 0], dtype=np.int64)
+        with pytest.raises(AssertionError, match="Lemma 3.3"):
+            coupled_insertion(_Expanding(), v, u, np.array([0]))
+
+    def test_left_oriented_nonexpanding_here(self):
+        """Def 3.4 is sufficient, not necessary: the left-oriented rule
+        violates the definition yet happens not to expand L1 on Ω_3 —
+        documenting that the two checks are genuinely different."""
+        rule = _LeftOriented()
+        from repro.utils.partitions import all_partitions
+
+        states = [np.array(s, dtype=np.int64) for s in all_partitions(3, 3)]
+        for v in states:
+            for u in states:
+                for rs in iter_sources(3, 2):
+                    coupled_insertion(rule, v, u, rs)  # must not raise
+
+
+class TestWrapper:
+    def test_verify_caches(self, abku2):
+        w = RightOrientedFunction(abku2)
+        assert w.verify(3, (2,))
+        assert w.verify(3, (2,))  # cached path
+
+    def test_verify_raises_on_bad_rule(self):
+        w = RightOrientedFunction(_LeftOriented())
+        with pytest.raises(AssertionError):
+            w.verify(3, (3,))
+
+    def test_coupled_insertion_delegates(self, abku2):
+        w = RightOrientedFunction(abku2)
+        v = np.array([2, 0], dtype=np.int64)
+        u = np.array([1, 1], dtype=np.int64)
+        v0, u0 = w.coupled_insertion(v, u, np.array([0, 1]))
+        assert v0.sum() == 3 and u0.sum() == 3

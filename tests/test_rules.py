@@ -1,0 +1,200 @@
+"""Tests for scheduling rules: Uniform, ABKU[d], ADAP(χ)."""
+
+import numpy as np
+import pytest
+
+from repro.balls.rules import (
+    ABKURule,
+    AdaptiveRule,
+    UniformRule,
+    constant_chi,
+    linear_chi,
+    make_rule,
+    threshold_chi,
+)
+
+
+@pytest.fixture
+def v():
+    return np.array([3, 2, 2, 1, 0], dtype=np.int64)
+
+
+class TestABKU:
+    def test_insertion_distribution_closed_form(self, v):
+        n = 5
+        pmf = ABKURule(2).insertion_distribution(v)
+        i = np.arange(1, n + 1)
+        expected = (i / n) ** 2 - ((i - 1) / n) ** 2
+        assert np.allclose(pmf, expected)
+
+    def test_insertion_distribution_sums_to_one(self, v):
+        for d in (1, 2, 3, 5):
+            assert ABKURule(d).insertion_distribution(v).sum() == pytest.approx(1.0)
+
+    def test_d1_uniform(self, v):
+        assert np.allclose(ABKURule(1).insertion_distribution(v), 0.2)
+
+    def test_select_from_source_is_max(self, v):
+        rule = ABKURule(3)
+        assert rule.select_from_source(v, np.array([1, 4, 2])) == 4
+        assert rule.select_from_source(v, np.array([0, 0, 0])) == 0
+
+    def test_select_from_source_short_raises(self, v):
+        with pytest.raises(ValueError, match="too short"):
+            ABKURule(2).select_from_source(v, np.array([1]))
+
+    def test_select_matches_distribution(self, v, rng):
+        """The single-uniform inverse-transform sampler matches the pmf."""
+        rule = ABKURule(2)
+        counts = np.zeros(5)
+        for _ in range(20000):
+            counts[rule.select(v, rng)] += 1
+        assert np.abs(counts / 20000 - rule.insertion_distribution(v)).max() < 0.02
+
+    def test_source_length(self, v):
+        assert ABKURule(4).source_length(v) == 4
+
+    def test_phi_identity(self, v):
+        rule = ABKURule(2)
+        rs = np.array([1, 2])
+        assert rule.phi(rs) is rs
+
+    def test_invalid_d(self):
+        with pytest.raises(ValueError):
+            ABKURule(0)
+
+
+class TestUniform:
+    def test_is_abku1(self, v):
+        assert np.allclose(
+            UniformRule().insertion_distribution(v),
+            ABKURule(1).insertion_distribution(v),
+        )
+
+    def test_name(self):
+        assert UniformRule().name == "uniform"
+
+
+class TestChiSchedules:
+    def test_constant(self):
+        chi = constant_chi(3)
+        assert chi(0) == chi(100) == 3
+
+    def test_threshold(self):
+        chi = threshold_chi(1, 4, cutoff=2)
+        assert chi(0) == 1 and chi(1) == 1 and chi(2) == 4 and chi(9) == 4
+
+    def test_threshold_rejects_decreasing(self):
+        with pytest.raises(ValueError):
+            threshold_chi(4, 1, 2)
+
+    def test_linear(self):
+        chi = linear_chi(2, 1)
+        assert chi(0) == 1 and chi(3) == 7
+
+    def test_sequence_chi(self):
+        rule = AdaptiveRule([1, 2, 3])
+        assert rule.chi(0) == 1 and rule.chi(2) == 3 and rule.chi(10) == 3
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptiveRule([])
+
+
+class TestAdaptive:
+    def test_equals_abku_when_constant(self, v, rng):
+        adap = AdaptiveRule(constant_chi(2))
+        abku = ABKURule(2)
+        assert np.allclose(
+            adap.insertion_distribution(v), abku.insertion_distribution(v)
+        )
+
+    def test_select_from_source_semantics(self):
+        # chi(load) = load + 1; v = [2, 1, 0].
+        v = np.array([2, 1, 0], dtype=np.int64)
+        rule = AdaptiveRule(lambda load: load + 1)
+        # First sample hits bin 2 (load 0): chi(0)=1 <= 1 -> place there.
+        assert rule.select_from_source(v, np.array([2])) == 2
+        # First sample bin 0 (load 2, chi=3), second bin 1 (load 1, chi=2),
+        # neither satisfied until t=2 with max index 1: chi(v[1])=2 <= 2.
+        assert rule.select_from_source(v, np.array([0, 1, 0])) == 1
+
+    def test_select_from_source_exhausted_raises(self):
+        v = np.array([2, 2], dtype=np.int64)
+        rule = AdaptiveRule(constant_chi(3))
+        with pytest.raises(ValueError, match="exhausted"):
+            rule.select_from_source(v, np.array([0]))
+
+    def test_insertion_distribution_matches_sampler(self, rng):
+        v = np.array([3, 2, 1, 1, 0, 0], dtype=np.int64)
+        rule = AdaptiveRule(threshold_chi(1, 3, 2))
+        pmf = rule.insertion_distribution(v)
+        assert pmf.sum() == pytest.approx(1.0)
+        counts = np.zeros(6)
+        for _ in range(20000):
+            counts[rule.select(v, rng)] += 1
+        assert np.abs(counts / 20000 - pmf).max() < 0.02
+
+    def test_source_length_is_chi_of_max_load(self):
+        v = np.array([5, 1], dtype=np.int64)
+        rule = AdaptiveRule(lambda load: load + 1)
+        assert rule.source_length(v) == 6
+
+    def test_nonpositive_chi_rejected(self):
+        v = np.array([1, 0], dtype=np.int64)
+        rule = AdaptiveRule(lambda load: 0)
+        with pytest.raises(ValueError, match="positive"):
+            rule.select(v, 0)
+
+
+class TestMakeRule:
+    def test_kinds(self):
+        assert isinstance(make_rule("uniform"), UniformRule)
+        assert make_rule("abku", d=3).d == 3
+        assert isinstance(make_rule("adap", chi=constant_chi(2)), AdaptiveRule)
+
+    def test_default_abku_d(self):
+        assert make_rule("abku").d == 2
+
+    def test_adap_requires_chi(self):
+        with pytest.raises(ValueError, match="chi"):
+            make_rule("adap")
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown"):
+            make_rule("nope")
+
+
+class TestGeometricChi:
+    def test_values_and_cap(self):
+        from repro.balls.rules import geometric_chi
+
+        chi = geometric_chi(2, 8)
+        assert [chi(l) for l in range(5)] == [1, 2, 4, 8, 8]
+
+    def test_validation(self):
+        from repro.balls.rules import geometric_chi
+
+        with pytest.raises(ValueError):
+            geometric_chi(1)
+        with pytest.raises(ValueError):
+            geometric_chi(2, 0)
+
+    def test_right_oriented(self):
+        from repro.balls.right_oriented import check_right_oriented
+        from repro.balls.rules import AdaptiveRule, geometric_chi
+
+        rule = AdaptiveRule(geometric_chi(2, 4))
+        assert check_right_oriented(rule, 3, (2, 3)) == []
+
+    def test_adap_geometric_pmf(self, rng):
+        from repro.balls.rules import AdaptiveRule, geometric_chi
+
+        rule = AdaptiveRule(geometric_chi(2, 8))
+        v = np.array([2, 2, 1, 0], dtype=np.int64)
+        pmf = rule.insertion_distribution(v)
+        assert pmf.sum() == pytest.approx(1.0)
+        counts = np.zeros(4)
+        for _ in range(15000):
+            counts[rule.select(v, rng)] += 1
+        assert np.abs(counts / 15000 - pmf).max() < 0.02

@@ -1,0 +1,181 @@
+"""Tests for the static baseline, open systems and relocation processes."""
+
+import numpy as np
+import pytest
+
+from repro.balls.load_vector import LoadVector
+from repro.balls.open_system import OpenSystemProcess, coupled_open_coalescence
+from repro.balls.relocation import RelocationProcess
+from repro.balls.rules import ABKURule, UniformRule
+from repro.balls.static import (
+    predicted_static_max_load,
+    static_allocate,
+    static_max_load,
+    static_max_load_samples,
+)
+
+
+class TestStatic:
+    def test_mass_and_normalization(self, abku2):
+        v = static_allocate(abku2, 100, 20, seed=0)
+        assert v.m == 100 and v.is_normalized()
+
+    def test_deterministic(self, abku2):
+        assert static_allocate(abku2, 50, 10, seed=1) == static_allocate(
+            abku2, 50, 10, seed=1
+        )
+
+    def test_two_choices_beats_one(self):
+        n = 3000
+        d1 = static_max_load(ABKURule(1), n, n, seed=2)
+        d2 = static_max_load(ABKURule(2), n, n, seed=2)
+        assert d2 < d1
+
+    def test_d2_max_load_small(self):
+        # ln ln n / ln 2 + O(1): should be <= 5 at n = 4096 w.h.p.
+        assert static_max_load(ABKURule(2), 4096, 4096, seed=3) <= 5
+
+    def test_samples_shape(self, abku2):
+        s = static_max_load_samples(abku2, 64, 64, replicas=7, seed=4)
+        assert s.shape == (7,) and (s >= 1).all()
+
+    def test_nonabku_rule_path(self, adaptive_rule):
+        v = static_allocate(adaptive_rule, 40, 10, seed=5)
+        assert v.m == 40
+
+    def test_prediction_values(self):
+        assert predicted_static_max_load(1, 1024) == pytest.approx(
+            np.log(1024) / np.log(np.log(1024))
+        )
+        assert predicted_static_max_load(2, 1024) == pytest.approx(
+            np.log(np.log(1024)) / np.log(2)
+        )
+
+    def test_prediction_heavy_case_offset(self):
+        light = predicted_static_max_load(2, 100)
+        heavy = predicted_static_max_load(2, 100, m=300)
+        assert heavy == pytest.approx(light + 2.0)
+
+    def test_prediction_small_n_rejected(self):
+        with pytest.raises(ValueError):
+            predicted_static_max_load(2, 2)
+
+
+class TestOpenSystem:
+    def test_ball_count_varies(self, abku2):
+        p = OpenSystemProcess(abku2, LoadVector.balanced(10, 5), seed=0)
+        counts = set()
+        for _ in range(200):
+            p.step()
+            counts.add(p.m)
+        assert len(counts) > 1
+
+    def test_empty_removal_is_noop(self, abku2):
+        p = OpenSystemProcess(abku2, LoadVector.empty(4), seed=1)
+        p._remove(0.5)
+        assert p.m == 0
+
+    def test_max_balls_cap(self, abku2):
+        p = OpenSystemProcess(abku2, LoadVector.empty(4), max_balls=3, seed=2)
+        p.run(500)
+        assert p.m <= 3
+
+    def test_invalid_removal_kind(self, abku2):
+        with pytest.raises(ValueError, match="removal"):
+            OpenSystemProcess(abku2, LoadVector.empty(2), removal="nope")
+
+    def test_bin_removal_mode(self, abku2):
+        p = OpenSystemProcess(abku2, LoadVector.balanced(8, 4), removal="bin", seed=3)
+        p.run(300)
+        assert p.m >= 0
+
+    def test_determinism(self, abku2):
+        a = OpenSystemProcess(abku2, LoadVector.empty(5), seed=9).run(200)
+        b = OpenSystemProcess(abku2, LoadVector.empty(5), seed=9).run(200)
+        assert a.state == b.state
+
+    def test_repr(self, abku2):
+        assert "OpenSystemProcess" in repr(
+            OpenSystemProcess(abku2, LoadVector.empty(3))
+        )
+
+    def test_coupled_coalescence_zero_for_equal(self, abku2):
+        t = coupled_open_coalescence(
+            abku2, LoadVector.balanced(4, 4), LoadVector.balanced(4, 4), seed=0
+        )
+        assert t == 0
+
+    def test_coupled_coalescence_converges(self, abku2):
+        t = coupled_open_coalescence(
+            abku2, LoadVector.empty(6), LoadVector.all_in_one(6, 6),
+            max_steps=500_000, seed=1,
+        )
+        assert 0 < t
+
+    def test_coupled_coalescence_bin_removal(self, abku2):
+        t = coupled_open_coalescence(
+            abku2, LoadVector.empty(4), LoadVector.all_in_one(4, 4),
+            removal="bin", max_steps=500_000, seed=2,
+        )
+        assert 0 < t
+
+
+class TestRelocation:
+    def test_p_zero_matches_base_counts(self, abku2):
+        p = RelocationProcess(
+            abku2, LoadVector.all_in_one(10, 5), p_relocate=0.0, seed=0
+        )
+        p.run(500)
+        assert p.relocations == 0
+        assert p.m == 10
+
+    def test_mass_conserved_with_relocation(self, abku2):
+        p = RelocationProcess(
+            abku2, LoadVector.all_in_one(20, 5), p_relocate=1.0, seed=1
+        )
+        p.run(500)
+        assert p.m == 20
+
+    def test_relocations_happen(self, abku2):
+        p = RelocationProcess(
+            abku2, LoadVector.all_in_one(40, 8), p_relocate=1.0, seed=2
+        )
+        p.run(50)
+        assert p.relocations > 0
+
+    def test_relocation_speeds_recovery(self, abku2):
+        m = n = 48
+        base = RelocationProcess(
+            abku2, LoadVector.all_in_one(m, n), p_relocate=0.0, seed=3
+        )
+        fast = RelocationProcess(
+            abku2, LoadVector.all_in_one(m, n), p_relocate=1.0, seed=3
+        )
+        t_base = base.run_until(lambda v: v[0] <= 4, 10**6)
+        t_fast = fast.run_until(lambda v: v[0] <= 4, 10**6)
+        assert 0 < t_fast < t_base
+
+    def test_scenario_b_mode(self, abku2):
+        p = RelocationProcess(
+            abku2, LoadVector.balanced(12, 4), scenario="b", seed=4
+        )
+        p.run(200)
+        assert p.m == 12
+
+    def test_invalid_scenario(self, abku2):
+        with pytest.raises(ValueError, match="scenario"):
+            RelocationProcess(abku2, LoadVector.balanced(4, 2), scenario="x")
+
+    def test_invalid_probability(self, abku2):
+        with pytest.raises(ValueError):
+            RelocationProcess(
+                abku2, LoadVector.balanced(4, 2), p_relocate=1.5
+            )
+
+    def test_states_stay_normalized(self, uniform_rule):
+        p = RelocationProcess(
+            uniform_rule, LoadVector.all_in_one(15, 5), p_relocate=0.7, seed=5
+        )
+        for _ in range(200):
+            p.step()
+            assert (np.diff(p.loads) <= 0).all()

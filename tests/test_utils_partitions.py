@@ -1,0 +1,75 @@
+"""Tests for partition enumeration (the Ω_m state space)."""
+
+import numpy as np
+import pytest
+
+from repro.utils.partitions import (
+    all_partitions,
+    iter_partitions,
+    normalize,
+    num_partitions,
+    partition_index,
+)
+
+
+class TestIterPartitions:
+    def test_known_small_case(self):
+        assert list(iter_partitions(3, 3)) == [(3, 0, 0), (2, 1, 0), (1, 1, 1)]
+
+    def test_m_zero(self):
+        assert list(iter_partitions(0, 4)) == [(0, 0, 0, 0)]
+
+    def test_single_bin(self):
+        assert list(iter_partitions(5, 1)) == [(5,)]
+
+    def test_all_vectors_normalized_and_sum(self):
+        for p in iter_partitions(7, 4):
+            assert len(p) == 4
+            assert sum(p) == 7
+            assert all(p[i] >= p[i + 1] for i in range(3))
+
+    def test_no_duplicates(self):
+        ps = list(iter_partitions(9, 5))
+        assert len(ps) == len(set(ps))
+
+    def test_lexicographically_decreasing(self):
+        ps = list(iter_partitions(6, 6))
+        assert ps == sorted(ps, reverse=True)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            list(iter_partitions(-1, 3))
+        with pytest.raises(ValueError):
+            list(iter_partitions(3, 0))
+
+
+class TestNumPartitions:
+    @pytest.mark.parametrize(
+        "m,n,expected",
+        [(0, 3, 1), (1, 3, 1), (3, 3, 3), (4, 4, 5), (5, 5, 7),
+         (8, 8, 22), (5, 2, 3), (10, 1, 1)],
+    )
+    def test_known_values(self, m, n, expected):
+        assert num_partitions(m, n) == expected
+
+    def test_count_matches_enumeration(self):
+        for m in range(8):
+            for n in range(1, 6):
+                assert num_partitions(m, n) == len(all_partitions(m, n))
+
+    def test_more_bins_than_balls_saturates(self):
+        # Partitions of m into at most n >= m parts = p(m).
+        assert num_partitions(6, 6) == num_partitions(6, 60)
+
+
+class TestHelpers:
+    def test_partition_index_bijective(self):
+        states = all_partitions(6, 4)
+        idx = partition_index(states)
+        assert len(idx) == len(states)
+        for k, s in enumerate(states):
+            assert idx[s] == k
+
+    def test_normalize(self):
+        assert normalize([1, 3, 2, 0]) == (3, 2, 1, 0)
+        assert normalize(np.array([5])) == (5,)

@@ -1,0 +1,63 @@
+"""Tests for seeded RNG stream management."""
+
+import numpy as np
+
+from repro.utils.rng import as_generator, entropy_of, spawn_generators, spawn_seeds
+
+
+class TestAsGenerator:
+    def test_int_seed_deterministic(self):
+        a = as_generator(7).random(5)
+        b = as_generator(7).random(5)
+        assert np.array_equal(a, b)
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+    def test_seed_sequence_accepted(self):
+        ss = np.random.SeedSequence(3)
+        a = as_generator(ss).random(3)
+        b = as_generator(np.random.SeedSequence(3)).random(3)
+        assert np.array_equal(a, b)
+
+
+class TestSpawn:
+    def test_spawn_count(self):
+        assert len(spawn_generators(0, 5)) == 5
+        assert len(spawn_seeds(0, 0)) == 0
+
+    def test_streams_differ(self):
+        gens = spawn_generators(0, 3)
+        draws = [g.random(4).tolist() for g in gens]
+        assert draws[0] != draws[1] != draws[2]
+
+    def test_spawn_deterministic(self):
+        a = [g.random() for g in spawn_generators(9, 4)]
+        b = [g.random() for g in spawn_generators(9, 4)]
+        assert a == b
+
+    def test_spawn_from_generator_deterministic(self):
+        a = [g.random() for g in spawn_generators(np.random.default_rng(1), 3)]
+        b = [g.random() for g in spawn_generators(np.random.default_rng(1), 3)]
+        assert a == b
+
+    def test_spawn_negative_raises(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+
+
+class TestEntropy:
+    def test_int(self):
+        assert entropy_of(5) == 5
+
+    def test_none(self):
+        assert entropy_of(None) is None
+
+    def test_seed_sequence(self):
+        assert entropy_of(np.random.SeedSequence(11)) == 11

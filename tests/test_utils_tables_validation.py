@@ -1,0 +1,125 @@
+"""Tests for the table formatter and validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.tables import Table, format_si
+from repro.utils.validation import (
+    check_load_vector,
+    check_nonnegative_int,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table(["a", "longcol"], title="T")
+        t.add_row([1, 2.5])
+        out = t.render()
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "longcol" in lines[1]
+        assert set(lines[2]) <= {"-", "+"}
+        assert len(lines) == 4
+
+    def test_row_length_mismatch(self):
+        t = Table(["x"])
+        with pytest.raises(ValueError, match="cells"):
+            t.add_row([1, 2])
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_float_formatting(self):
+        t = Table(["v"])
+        t.add_row([1234567.0])
+        assert "e+06" in t.render()
+
+    def test_str_dunder(self):
+        t = Table(["v"])
+        assert str(t) == t.render()
+
+
+class TestFormatSi:
+    @pytest.mark.parametrize(
+        "x,expected",
+        [(0, "0"), (5.0, "5"), (2.5, "2.5"), (1e9, "1.000e+09")],
+    )
+    def test_values(self, x, expected):
+        assert format_si(x) == expected
+
+    def test_tiny(self):
+        assert "e-09" in format_si(3.2e-9)
+
+
+class TestCheckInts:
+    def test_positive_ok(self):
+        assert check_positive_int("x", np.int64(3)) == 3
+
+    def test_positive_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive_int("x", 0)
+
+    def test_positive_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int("x", True)
+
+    def test_positive_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int("x", 2.0)
+
+    def test_nonnegative_ok(self):
+        assert check_nonnegative_int("x", 0) == 0
+
+    def test_nonnegative_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_nonnegative_int("x", -1)
+
+
+class TestCheckProbability:
+    def test_bounds(self):
+        assert check_probability("p", 0) == 0.0
+        assert check_probability("p", 1) == 1.0
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.1])
+    def test_out_of_range(self, bad):
+        with pytest.raises(ValueError):
+            check_probability("p", bad)
+
+
+class TestCheckLoadVector:
+    def test_accepts_list(self):
+        v = check_load_vector([3, 1, 0])
+        assert v.dtype == np.int64
+
+    def test_accepts_integral_floats(self):
+        v = check_load_vector(np.array([2.0, 1.0]))
+        assert v.tolist() == [2, 1]
+
+    def test_rejects_fractional(self):
+        with pytest.raises(TypeError):
+            check_load_vector([1.5])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_load_vector([-1, 2])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            check_load_vector([])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            check_load_vector(np.zeros((2, 2), dtype=np.int64))
+
+    def test_normalized_check(self):
+        with pytest.raises(ValueError, match="not normalized"):
+            check_load_vector([1, 2], normalized=True)
+
+    def test_returns_copy(self):
+        src = np.array([3, 2], dtype=np.int64)
+        v = check_load_vector(src)
+        v[0] = 99
+        assert src[0] == 3

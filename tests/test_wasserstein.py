@@ -1,0 +1,103 @@
+"""Tests for exact Wasserstein distances and the path-coupling decay."""
+
+import numpy as np
+import pytest
+
+from repro.balls.load_vector import delta_distance
+from repro.balls.rules import ABKURule
+from repro.markov import scenario_a_kernel, stationary_distribution
+from repro.markov.mixing import tv_decay
+from repro.markov.wasserstein import (
+    delta_cost_matrix,
+    wasserstein_decay,
+    wasserstein_distance,
+)
+
+
+def _delta(a, b):
+    return delta_distance(
+        np.array(a, dtype=np.int64), np.array(b, dtype=np.int64)
+    )
+
+
+class TestWassersteinDistance:
+    def test_identical_distributions(self):
+        C = np.array([[0.0, 1.0], [1.0, 0.0]])
+        p = np.array([0.3, 0.7])
+        assert wasserstein_distance(p, p, C) == pytest.approx(0.0, abs=1e-9)
+
+    def test_point_masses(self):
+        C = np.array([[0.0, 3.0], [3.0, 0.0]])
+        p = np.array([1.0, 0.0])
+        q = np.array([0.0, 1.0])
+        assert wasserstein_distance(p, q, C) == pytest.approx(3.0)
+
+    def test_partial_transport(self):
+        # Move 0.4 mass across cost 2 -> W = 0.8.
+        C = np.array([[0.0, 2.0], [2.0, 0.0]])
+        p = np.array([0.9, 0.1])
+        q = np.array([0.5, 0.5])
+        assert wasserstein_distance(p, q, C) == pytest.approx(0.8)
+
+    def test_symmetry(self, rng):
+        size = 5
+        C = np.abs(np.subtract.outer(np.arange(size), np.arange(size))).astype(float)
+        p = rng.dirichlet(np.ones(size))
+        q = rng.dirichlet(np.ones(size))
+        assert wasserstein_distance(p, q, C) == pytest.approx(
+            wasserstein_distance(q, p, C), abs=1e-9
+        )
+
+    def test_validation(self):
+        C = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            wasserstein_distance(np.array([0.5, 0.6]), np.array([0.5, 0.5]), C)
+        with pytest.raises(ValueError):
+            wasserstein_distance(np.array([1.0]), np.array([0.5, 0.5]), C)
+
+
+class TestPathCouplingDecay:
+    @pytest.fixture(scope="class")
+    def chain(self):
+        return scenario_a_kernel(ABKURule(2), 3, 4)
+
+    def test_cost_matrix_is_delta(self, chain):
+        C = delta_cost_matrix(chain, _delta)
+        assert C[0, 0] == 0.0
+        i = chain.index_of((4, 0, 0))
+        j = chain.index_of((2, 1, 1))
+        assert C[i, j] == 2.0
+
+    def test_decay_dominated_by_rho_t(self, chain):
+        """W(t) <= (1 - 1/m)^t * W(0): the Wasserstein form of Cor 4.2
+        + Lemma 3.1 case 1, verified on the actual chain."""
+        m = 4
+        rho = 1.0 - 1.0 / m
+        decay = wasserstein_decay(chain, _delta, (4, 0, 0), 12)
+        for t in range(len(decay)):
+            assert decay[t] <= decay[0] * rho**t + 1e-9
+
+    def test_decay_monotone(self, chain):
+        decay = wasserstein_decay(chain, _delta, (4, 0, 0), 10)
+        assert (np.diff(decay) <= 1e-9).all()
+
+    def test_tv_below_wasserstein(self, chain):
+        """TV <= W_Δ because Δ >= 1 on distinct states."""
+        pi = stationary_distribution(chain)
+        w = wasserstein_decay(chain, _delta, (4, 0, 0), 8, pi=pi)
+        # Worst-case TV decay starts from the same point mass family;
+        # compare per-t for this start.
+        dist = chain.point_mass((4, 0, 0))
+        for t in range(9):
+            tv = 0.5 * np.abs(dist - pi).sum()
+            assert tv <= w[t] + 1e-9
+            dist = dist @ chain.P
+
+    def test_worst_start_is_crash_state(self, chain):
+        pi = stationary_distribution(chain)
+        C = delta_cost_matrix(chain, _delta)
+        dists = {
+            s: wasserstein_distance(chain.point_mass(s), pi, C)
+            for s in chain.states
+        }
+        assert max(dists, key=lambda s: dists[s]) == (4, 0, 0)
