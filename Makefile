@@ -1,31 +1,34 @@
 # Convenience targets for the reproduction repository.
 
 PY ?= python
+# Run against the source tree without an editable install (matches the
+# tier-1 command in ROADMAP.md).
+PYPATH = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-fast bench examples report verify all
+.PHONY: install test test-fast bench examples report report-paper verify all
 
 install:
 	$(PY) setup.py develop
 
 test:
-	$(PY) -m pytest tests/
+	$(PYPATH) $(PY) -m pytest tests/
 
 test-fast:
-	$(PY) -m pytest tests/ -m "not slow"
+	$(PYPATH) $(PY) -m pytest tests/ -m "not slow"
 
 bench:
-	$(PY) -m pytest benchmarks/ --benchmark-only
+	$(PYPATH) $(PY) -m pytest benchmarks/ --benchmark-only
 
 examples:
-	@for f in examples/*.py; do echo "== $$f"; $(PY) $$f; echo; done
+	@for f in examples/*.py; do echo "== $$f"; $(PYPATH) $(PY) $$f; echo; done
 
 report:
-	$(PY) -m repro.experiments.report --scale smoke --out EXPERIMENTS.md
+	$(PYPATH) $(PY) -m repro.experiments.report --scale smoke --out EXPERIMENTS.md
 
 report-paper:
-	$(PY) -m repro.experiments.report --scale paper --out EXPERIMENTS.md
+	$(PYPATH) $(PY) -m repro.experiments.report --scale paper --out EXPERIMENTS.md
 
 verify:
-	$(PY) -m repro verify
+	$(PYPATH) $(PY) -m repro verify
 
 all: test bench

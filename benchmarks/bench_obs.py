@@ -1,0 +1,129 @@
+"""Observability overhead benchmarks.
+
+The contract of ``repro.obs`` is a no-op fast path: with observability
+disabled, instrumented hot loops must stay within ~2% of their raw
+cost (the guard is one boolean check per ``run()`` call, not per
+phase).  These benches measure the three regimes side by side —
+disabled, metrics-only, and a fully observed run (registry + tracer +
+JSONL recorder) — plus the micro-costs of the individual primitives.
+
+``test_disabled_overhead_ratio`` prints the measured disabled-path
+ratio directly (best-of timing of ``run(CHUNK)`` against a raw
+``step()`` loop), which is the number quoted in docs/PERFORMANCE.md.
+"""
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.balls.load_vector import LoadVector
+from repro.balls.rules import ABKURule
+from repro.balls.scenario_a import ScenarioAProcess
+from repro.obs.metrics import scoped_registry
+from repro.obs.trace import Tracer
+
+N = 1024
+CHUNK = 512
+
+
+def _make_proc(seed=0):
+    return ScenarioAProcess(ABKURule(2), LoadVector.random(N, N, seed), seed=seed)
+
+
+@pytest.fixture(autouse=True)
+def _obs_off():
+    obs.disable()
+    yield
+    obs.disable()
+    obs.set_tracer(None)
+    obs.set_recorder(None)
+
+
+def test_bench_run_disabled(benchmark):
+    """The production fast path: obs off, one guard per run() call."""
+    proc = _make_proc(0)
+    benchmark(lambda: proc.run(CHUNK))
+
+
+def test_bench_run_enabled_metrics(benchmark):
+    """Obs on with counters only (no tracer, no recorder)."""
+    proc = _make_proc(1)
+    with scoped_registry():
+        obs.enable()
+        benchmark(lambda: proc.run(CHUNK))
+        obs.disable()
+
+
+def test_bench_run_observed(benchmark, tmp_path):
+    """Obs on with the full artifact pipeline (spans -> JSONL recorder)."""
+    proc = _make_proc(2)
+    with obs.observe_run(str(tmp_path / "bench-run")):
+        benchmark(lambda: proc.run(CHUNK))
+
+
+def test_bench_counter_inc(benchmark):
+    with scoped_registry() as reg:
+        c = reg.counter("bench")
+        benchmark(c.inc)
+
+
+def test_bench_span_enabled(benchmark):
+    tracer = Tracer()
+    obs.set_tracer(tracer)
+
+    def op():
+        with obs.span("bench"):
+            pass
+        tracer.events.clear()
+
+    benchmark(op)
+
+
+def test_bench_span_disabled(benchmark):
+    obs.set_tracer(None)
+
+    def op():
+        with obs.span("bench"):
+            pass
+
+    benchmark(op)
+
+
+def _best_of(fn, repeats=7):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_disabled_overhead_ratio(capsys):
+    """Measure run() (guarded) against a raw step() loop, obs disabled.
+
+    Prints the ratio quoted in docs/PERFORMANCE.md; the assertion is a
+    generous backstop against accidentally putting work on the
+    disabled path (the guard itself is one boolean per run() call).
+    """
+    proc = _make_proc(3)
+    proc.run(CHUNK)  # warmup
+
+    def raw():
+        step = proc.step
+        for _ in range(CHUNK):
+            step()
+
+    def guarded():
+        proc.run(CHUNK)
+
+    t_raw = _best_of(raw)
+    t_guarded = _best_of(guarded)
+    ratio = t_guarded / t_raw
+    with capsys.disabled():
+        print(
+            f"\nobs disabled overhead: raw step loop {1e6 * t_raw / CHUNK:.2f} us/phase, "
+            f"guarded run() {1e6 * t_guarded / CHUNK:.2f} us/phase, "
+            f"ratio {ratio:.4f}"
+        )
+    assert ratio < 1.05, f"disabled-path overhead too high: {ratio:.3f}"

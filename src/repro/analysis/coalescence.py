@@ -12,6 +12,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.analysis.stats import SampleSummary, summarize
 from repro.utils.rng import SeedLike, spawn_seeds
 from repro.utils.tables import Table
@@ -72,10 +73,31 @@ def sweep_coalescence(
     """
     sweep = CoalescenceSweep()
     size_seeds = spawn_seeds(seed, len(sizes))
+    observing = obs.enabled()
     for size, size_seed in zip(sizes, size_seeds):
-        times = np.array(
-            [run_one(size, s) for s in size_seed.spawn(replicas)],
-            dtype=np.int64,
-        )
+        with obs.span(f"coalescence/size={size}", replicas=replicas):
+            times = np.array(
+                [run_one(size, s) for s in size_seed.spawn(replicas)],
+                dtype=np.int64,
+            )
         sweep.add(size, times, bound(size))
+        if observing:
+            _record_tv_bound_curve(size, times)
     return sweep
+
+
+def _record_tv_bound_curve(size: int, times: np.ndarray, points: int = 24) -> None:
+    """Record the empirical coupling-inequality TV bound for one size.
+
+    By the coupling inequality, d(t) ≤ P[coalescence time > t]; the
+    replica survival curve is its empirical estimate, recorded as the
+    series ``tv_bound/size=<size>`` on the active run recorder.
+    """
+    horizon = int(times.max())
+    if horizon <= 0:
+        return
+    grid = np.unique(np.linspace(0, horizon, num=min(points, horizon + 1), dtype=np.int64))
+    for t in grid:
+        obs.record_sample(
+            f"tv_bound/size={size}", int(t), float((times > t).mean())
+        )

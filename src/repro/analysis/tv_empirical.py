@@ -21,6 +21,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.utils.rng import SeedLike, spawn_generators
 
 __all__ = [
@@ -73,6 +74,7 @@ def empirical_tv_curve(
             hists[ci][state_key(proc)] += 1
 
     out = np.empty(len(checkpoints))
+    observing = obs.enabled()
     for ci, h in enumerate(hists):
         keys = set(h) | set(ref_counts)
         tv = 0.5 * sum(
@@ -80,6 +82,8 @@ def empirical_tv_curve(
             for k in keys
         )
         out[ci] = tv
+        if observing:
+            obs.record_sample("tv/empirical", checkpoints[ci], tv)
     return out
 
 

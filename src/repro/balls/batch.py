@@ -23,6 +23,7 @@ from typing import Literal
 
 import numpy as np
 
+from repro import obs
 from repro.balls.load_vector import LoadVector
 from repro.balls.rules import ABKURule
 from repro.utils.rng import SeedLike, as_generator
@@ -139,30 +140,59 @@ class BatchProcess:
         V[rows, pos] += 1
         self._t += 1
 
+    def _obs_account(self, steps: int) -> None:
+        """Bulk-count *steps* fleet phases (only called when obs is enabled)."""
+        reg = obs.metrics()
+        reg.counter("batch.steps").inc(steps)
+        reg.counter("batch.replica_phases").inc(steps * self._R)
+
     def run(self, steps: int) -> "BatchProcess":
         """Advance all replicas *steps* phases; returns self."""
         if steps < 0:
             raise ValueError(f"steps must be >= 0, got {steps}")
-        for _ in range(steps):
-            self.step()
+        if not obs.enabled():
+            for _ in range(steps):
+                self.step()
+            return self
+        with obs.span("batch/run", steps=steps, replicas=self._R,
+                      scenario=self.scenario):
+            for _ in range(steps):
+                self.step()
+        self._obs_account(steps)
         return self
 
     def recovery_times(self, target_max_load: int, max_steps: int) -> np.ndarray:
         """Per-replica first time max load ≤ target (−1 where cap hit).
 
         Replicas that have recovered keep running (the matrix advances
-        as a whole); only their hitting times are frozen.
+        as a whole); only their hitting times are frozen.  Under
+        observability, the recovered fraction and fleet-mean max load
+        are recorded at power-of-two checkpoints (series
+        ``batch/recovered_fraction``, ``batch/max_load_mean``).
         """
+        observing = obs.enabled()
         times = np.full(self._R, -1, dtype=np.int64)
         done = self._V[:, 0] <= target_max_load
         times[done] = 0
+        executed = 0
         for k in range(1, max_steps + 1):
             if done.all():
                 break
             self.step()
+            executed = k
             newly = (~done) & (self._V[:, 0] <= target_max_load)
             times[newly] = k
             done |= newly
+            if observing and (k & (k - 1)) == 0:
+                obs.record_sample("batch/recovered_fraction", k, float(done.mean()))
+                obs.record_sample(
+                    "batch/max_load_mean", k, float(self._V[:, 0].mean())
+                )
+        if observing:
+            self._obs_account(executed)
+            obs.record_sample(
+                "batch/recovered_fraction", executed, float(done.mean())
+            )
         return times
 
     def __repr__(self) -> str:

@@ -23,6 +23,7 @@ from typing import Callable, Union
 
 import numpy as np
 
+from repro import obs
 from repro.balls.load_vector import LoadVector, ominus_index, oplus_index
 from repro.utils.rng import SeedLike, as_generator
 
@@ -42,7 +43,19 @@ def nonempty_stat(v: np.ndarray) -> float:
 
 
 class DynamicAllocationProcess(ABC):
-    """Stateful simulator of a remove-then-place allocation process."""
+    """Stateful simulator of a remove-then-place allocation process.
+
+    Observability (``repro.obs``) is accounted at *run granularity*:
+    ``run``/``trajectory``/``run_until`` check :func:`repro.obs.enabled`
+    once and, when on, count phases / RNG draws / Fact 3.2 updates in
+    bulk and time the sweep under a span — the per-phase ``step()``
+    stays untouched, so the disabled overhead is one boolean per call.
+    """
+
+    #: Metric/series prefix; subclasses override ("scenario_a", ...).
+    _obs_name = "process"
+    #: RNG draws one phase consumes (subclass accounting hint).
+    _obs_rng_per_phase = 2
 
     def __init__(
         self,
@@ -106,6 +119,16 @@ class DynamicAllocationProcess(ABC):
         self._v[j] += 1
         return j
 
+    # -- observability ---------------------------------------------------------
+
+    def _obs_account(self, steps: int) -> None:
+        """Bulk-count the cost of *steps* phases (only called when enabled)."""
+        reg = obs.metrics()
+        name = self._obs_name
+        reg.counter(f"{name}.phases").inc(steps)
+        reg.counter(f"{name}.rng_draws").inc(steps * self._obs_rng_per_phase)
+        reg.counter("fact32.updates").inc(2 * steps)
+
     # -- the process ----------------------------------------------------------
 
     @abstractmethod
@@ -116,8 +139,14 @@ class DynamicAllocationProcess(ABC):
         """Execute *steps* phases; returns self for chaining."""
         if steps < 0:
             raise ValueError(f"steps must be >= 0, got {steps}")
-        for _ in range(steps):
-            self.step()
+        if not obs.enabled():
+            for _ in range(steps):
+                self.step()
+            return self
+        with obs.span(f"{self._obs_name}/run", steps=steps, n=self.n):
+            for _ in range(steps):
+                self.step()
+        self._obs_account(steps)
         return self
 
     def trajectory(
@@ -133,11 +162,20 @@ class DynamicAllocationProcess(ABC):
         """
         if every < 1:
             raise ValueError(f"every must be >= 1, got {every}")
+        observing = obs.enabled()
+        series = f"{self._obs_name}/{getattr(stat, '__name__', 'stat')}"
+        t0 = self._t
         out = [stat(self._v)]
+        if observing:
+            obs.record_sample(series, t0, out[0])
         for k in range(1, steps + 1):
             self.step()
             if k % every == 0:
                 out.append(stat(self._v))
+                if observing:
+                    obs.record_sample(series, t0 + k, out[-1])
+        if observing:
+            self._obs_account(steps)
         return np.asarray(out, dtype=np.float64)
 
     def run_until(
@@ -152,11 +190,15 @@ class DynamicAllocationProcess(ABC):
         """
         if predicate(self._v):
             return 0
+        hit = -1
         for k in range(1, max_steps + 1):
             self.step()
             if predicate(self._v):
-                return k
-        return -1
+                hit = k
+                break
+        if obs.enabled():
+            self._obs_account(hit if hit >= 0 else max_steps)
+        return hit
 
     def __repr__(self) -> str:
         return (

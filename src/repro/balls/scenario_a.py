@@ -32,7 +32,15 @@ __all__ = ["ScenarioAProcess", "scenario_a_transition"]
 
 
 class ScenarioAProcess(DynamicAllocationProcess):
-    """Stateful simulator of I_A with an arbitrary scheduling rule."""
+    """Stateful simulator of I_A with an arbitrary scheduling rule.
+
+    Observability: phases, RNG draws, Fact 3.2 and Fenwick update
+    counts appear under the ``scenario_a.*`` metrics when
+    :mod:`repro.obs` is enabled (accounted in bulk per ``run()``).
+    """
+
+    _obs_name = "scenario_a"
+    _obs_rng_per_phase = 2  # one Fenwick removal draw + one rule draw
 
     def __init__(
         self,
@@ -45,6 +53,14 @@ class ScenarioAProcess(DynamicAllocationProcess):
         self.rule = rule
         self._fenwick = FenwickTree(self._v)
         self._m = int(self._v.sum())
+
+    def _obs_account(self, steps: int) -> None:
+        super()._obs_account(steps)
+        # Each phase touches the Fenwick tree three times: one find()
+        # plus the two ±1 updates mirroring the Fact 3.2 edits.
+        from repro import obs
+
+        obs.metrics().counter("scenario_a.fenwick_ops").inc(3 * steps)
 
     def step(self) -> None:
         rng = self._rng

@@ -32,7 +32,15 @@ __all__ = ["ScenarioBProcess", "scenario_b_transition"]
 
 
 class ScenarioBProcess(DynamicAllocationProcess):
-    """Stateful simulator of I_B with an arbitrary scheduling rule."""
+    """Stateful simulator of I_B with an arbitrary scheduling rule.
+
+    Observability: phases and RNG draws appear under ``scenario_b.*``
+    and the tracked nonempty-bin count as the gauge
+    ``scenario_b.nonempty_bins`` when :mod:`repro.obs` is enabled.
+    """
+
+    _obs_name = "scenario_b"
+    _obs_rng_per_phase = 2  # one nonempty-bin draw + one rule draw
 
     def __init__(
         self,
@@ -49,6 +57,12 @@ class ScenarioBProcess(DynamicAllocationProcess):
     def num_nonempty(self) -> int:
         """Current count s of nonempty bins (maintained incrementally)."""
         return self._s
+
+    def _obs_account(self, steps: int) -> None:
+        super()._obs_account(steps)
+        from repro import obs
+
+        obs.metrics().gauge("scenario_b.nonempty_bins").set(self._s)
 
     def step(self) -> None:
         rng = self._rng

@@ -10,9 +10,13 @@ Commands:
 * ``report``   — run all experiments and write EXPERIMENTS.md;
 * ``verify``   — machine-verify the paper's coupling lemmas on small
   exhaustive domains (exits nonzero on any violation);
-* ``static``   — static allocation baseline (max load for d = 1..D).
+* ``static``   — static allocation baseline (max load for d = 1..D);
+* ``obs``      — inspect recorded run artifacts
+  (``obs summarize <run-dir>`` prints the timing/convergence report).
 
-Every command takes ``--seed`` for reproducibility.
+Every command takes ``--seed`` for reproducibility.  ``experiment``
+additionally takes ``--trace`` / ``--metrics-out DIR`` to record a run
+artifact (``events.jsonl`` + ``meta.json``) via :mod:`repro.obs`.
 """
 
 from __future__ import annotations
@@ -56,6 +60,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("id", help="experiment id, e.g. E4")
     p.add_argument("--scale", choices=("smoke", "paper"), default="smoke")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--trace", action="store_true",
+        help="record span tracing + run artifact (default dir runs/<id>)",
+    )
+    p.add_argument(
+        "--metrics-out", default=None, metavar="DIR",
+        help="run-artifact directory (implies observability)",
+    )
 
     p = sub.add_parser("report", help="run all experiments, write EXPERIMENTS.md")
     p.add_argument("--scale", choices=("smoke", "paper"), default="smoke")
@@ -78,6 +90,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-d", type=int, default=3)
     p.add_argument("--replicas", type=int, default=5)
     p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("obs", help="inspect recorded run artifacts")
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    ps = obs_sub.add_parser(
+        "summarize", help="print a timing/convergence report of a run directory"
+    )
+    ps.add_argument("run_dir", help="run-artifact directory (e.g. runs/demo)")
 
     return parser
 
@@ -169,9 +188,17 @@ def _cmd_bounds(args) -> int:
 
 
 def _cmd_experiment(args) -> int:
-    from repro.experiments import run_experiment
+    from repro.experiments.base import run_observed
+    from repro.experiments.registry import get_experiment
 
-    result = run_experiment(args.id.upper(), scale=args.scale, seed=args.seed)
+    run = get_experiment(args.id.upper())
+    result = run_observed(
+        run,
+        scale=args.scale,
+        seed=args.seed,
+        trace=args.trace,
+        metrics_out=args.metrics_out,
+    )
     print(result.render())
     return 0 if "VIOLATED" not in result.verdict else 1
 
@@ -254,6 +281,19 @@ def _cmd_diagnose(args) -> int:
     return 0
 
 
+def _cmd_obs(args) -> int:
+    import sys
+
+    from repro.obs import summarize_run
+
+    try:
+        print(summarize_run(args.run_dir))
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "diagnose": _cmd_diagnose,
@@ -262,6 +302,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "verify": _cmd_verify,
     "static": _cmd_static,
+    "obs": _cmd_obs,
 }
 
 

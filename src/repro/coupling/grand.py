@@ -25,6 +25,7 @@ from typing import Callable, Union
 
 import numpy as np
 
+from repro import obs
 from repro.balls.distributions import quantile_removal_a, quantile_removal_b
 from repro.balls.load_vector import LoadVector, ominus, oplus
 from repro.balls.rules import SchedulingRule
@@ -61,6 +62,11 @@ def _coalescence_closed(
     if np.array_equal(v, u):
         return 0
     n = v.shape[0]
+    # Under observability, record the convergence trace at power-of-two
+    # checkpoints: the coupling distance (half the L1 gap — the quantity
+    # the path-coupling argument contracts) and the pair's max load.
+    observing = obs.enabled()
+    result = -1
     for step in range(1, max_steps + 1):
         q = float(rng.random())
         v = ominus(v, removal_quantile(v, q))
@@ -69,9 +75,23 @@ def _coalescence_closed(
         rs = rng.integers(0, n, size=length)
         v = oplus(v, rule.select_from_source(v, rs))
         u = oplus(u, rule.select_from_source(u, rule.phi(rs)))
+        if observing and (step & (step - 1)) == 0:
+            obs.record_sample(
+                "coupling/distance", step, 0.5 * float(np.abs(v - u).sum())
+            )
+            obs.record_sample(
+                "coupling/max_load", step, float(max(v[0], u[0]))
+            )
         if np.array_equal(v, u):
-            return step
-    return -1
+            result = step
+            break
+    if observing:
+        executed = result if result > 0 else max_steps
+        reg = obs.metrics()
+        reg.counter("coupling.phases").inc(executed)
+        if result > 0:
+            reg.counter("coupling.coalescences").inc()
+    return result
 
 
 def coalescence_time_a(
@@ -138,7 +158,13 @@ def coalescence_time_edge(
     n = x.shape[0]
     if np.array_equal(x, y):
         return 0
+    observing = obs.enabled()
+    result = -1
     for step in range(1, max_steps + 1):
+        if observing and (step & (step - 1)) == 0:
+            obs.record_sample(
+                "coupling/edge_distance", step, 0.5 * float(np.abs(x - y).sum())
+            )
         if rng.random() < 0.5:  # lazy bit: no move
             continue
         phi = int(rng.integers(0, n))
@@ -151,8 +177,13 @@ def coalescence_time_edge(
         _rank_move(x, phi, psi)
         _rank_move(y, phi, psi)
         if np.array_equal(x, y):
-            return step
-    return -1
+            result = step
+            break
+    if observing:
+        obs.metrics().counter("coupling.edge_steps").inc(
+            result if result > 0 else max_steps
+        )
+    return result
 
 
 def _rank_move(d: np.ndarray, phi: int, psi: int) -> None:

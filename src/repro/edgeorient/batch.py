@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_positive_int
 
@@ -118,26 +119,48 @@ class BatchEdgeProcess:
             D[r_idx, lo_b] += 1
         self._t += 1
 
+    def _obs_account(self, steps: int) -> None:
+        """Bulk-count *steps* fleet arrivals (only called when obs is enabled)."""
+        reg = obs.metrics()
+        reg.counter("edge_batch.steps").inc(steps)
+        reg.counter("edge_batch.replica_arrivals").inc(steps * self._R)
+
     def run(self, steps: int) -> "BatchEdgeProcess":
         """Advance all replicas by *steps* arrivals; returns self."""
         if steps < 0:
             raise ValueError(f"steps must be >= 0, got {steps}")
-        for _ in range(steps):
-            self.step()
+        if not obs.enabled():
+            for _ in range(steps):
+                self.step()
+            return self
+        with obs.span("edge_batch/run", steps=steps, replicas=self._R):
+            for _ in range(steps):
+                self.step()
+        self._obs_account(steps)
         return self
 
     def mean_unfairness(self, steps: int, *, burn_in: int = 0, every: int = 1) -> float:
-        """Pooled time-average unfairness across replicas."""
+        """Pooled time-average unfairness across replicas.
+
+        Under observability the fleet-mean unfairness is recorded at
+        each sampled point (series ``edge_batch/unfairness``).
+        """
         if every < 1:
             raise ValueError(f"every must be >= 1, got {every}")
         self.run(burn_in)
+        observing = obs.enabled()
         total = 0.0
         count = 0
         for k in range(1, steps + 1):
             self.step()
             if k % every == 0:
-                total += float(self.unfairness().mean())
+                mean = float(self.unfairness().mean())
+                total += mean
                 count += 1
+                if observing:
+                    obs.record_sample("edge_batch/unfairness", self._t, mean)
+        if observing:
+            self._obs_account(steps)
         if count == 0:
             raise ValueError("steps too small for the chosen every")
         return total / count

@@ -18,6 +18,7 @@ from collections import Counter
 
 import numpy as np
 
+from repro import obs
 from repro.edgeorient.state import enumerate_reachable_states
 from repro.markov.chain import FiniteMarkovChain
 
@@ -58,14 +59,20 @@ def edge_orientation_kernel(n: int, *, lazy: bool = True) -> FiniteMarkovChain:
     is periodic for some n — the tests use it to machine-verify why the
     paper's Remark 1 introduces the bit b.
     """
-    states = enumerate_reachable_states(n)
-    index = {s: i for i, s in enumerate(states)}
-    size = len(states)
-    P = np.zeros((size, size), dtype=np.float64)
-    move_weight = 0.5 if lazy else 1.0
-    for i, s in enumerate(states):
-        if lazy:
-            P[i, i] += 0.5
-        for succ, p in pair_transitions(s):
-            P[i, index[succ]] += move_weight * p
-    return FiniteMarkovChain(states, P)
+    with obs.span("edgeorient/kernel-build", n=n, lazy=lazy):
+        states = enumerate_reachable_states(n)
+        index = {s: i for i, s in enumerate(states)}
+        size = len(states)
+        P = np.zeros((size, size), dtype=np.float64)
+        move_weight = 0.5 if lazy else 1.0
+        for i, s in enumerate(states):
+            if lazy:
+                P[i, i] += 0.5
+            for succ, p in pair_transitions(s):
+                P[i, index[succ]] += move_weight * p
+        chain = FiniteMarkovChain(states, P)
+    if obs.enabled():
+        reg = obs.metrics()
+        reg.counter("edgeorient.kernel_builds").inc()
+        reg.gauge("edgeorient.state_space").set(size)
+    return chain

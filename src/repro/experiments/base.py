@@ -3,12 +3,19 @@
 from __future__ import annotations
 
 import argparse
+import os
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.utils.tables import Table
 
-__all__ = ["ExperimentResult", "Scale", "check_scale", "main_for"]
+__all__ = [
+    "ExperimentResult",
+    "Scale",
+    "check_scale",
+    "main_for",
+    "run_observed",
+]
 
 Scale = str
 _SCALES = ("smoke", "paper")
@@ -27,7 +34,9 @@ class ExperimentResult:
 
     ``verdict`` is a one-line human summary ("q95 within Theorem 1 bound
     at every size"); ``data`` holds the raw numbers for tests and
-    EXPERIMENTS.md; ``tables`` render the paper-style rows.
+    EXPERIMENTS.md; ``tables`` render the paper-style rows.  When the
+    run was observed (``--trace`` / ``--metrics-out``), ``telemetry``
+    carries the run-artifact directory and the final metrics snapshot.
     """
 
     experiment_id: str
@@ -36,6 +45,7 @@ class ExperimentResult:
     verdict: str
     tables: list[Table] = field(default_factory=list)
     data: dict[str, Any] = field(default_factory=dict)
+    telemetry: dict[str, Any] | None = None
 
     def render(self) -> str:
         """Full plain-text report."""
@@ -43,10 +53,58 @@ class ExperimentResult:
         for t in self.tables:
             parts.append(t.render())
         parts.append(f"verdict: {self.verdict}")
+        if self.telemetry and "run_dir" in self.telemetry:
+            parts.append(
+                f"telemetry: run artifact at {self.telemetry['run_dir']} "
+                f"(try: python -m repro obs summarize {self.telemetry['run_dir']})"
+            )
         return "\n\n".join(parts)
 
     def __str__(self) -> str:
         return self.render()
+
+
+def _default_run_dir(run: Callable[..., ExperimentResult]) -> str:
+    """``runs/<experiment module name>`` for unlabelled observed runs."""
+    return os.path.join("runs", run.__module__.rsplit(".", 1)[-1])
+
+
+def run_observed(
+    run: Callable[..., ExperimentResult],
+    *,
+    scale: str = "smoke",
+    seed: int = 0,
+    trace: bool = False,
+    metrics_out: str | None = None,
+) -> ExperimentResult:
+    """Run an experiment, optionally under full observability.
+
+    With neither *trace* nor *metrics_out* this is exactly
+    ``run(scale=scale, seed=seed)``.  Otherwise the run executes inside
+    :func:`repro.obs.observe_run`: span tracing and per-checkpoint
+    series stream into ``<run_dir>/events.jsonl``, the metrics snapshot
+    and run config land in ``<run_dir>/meta.json``, and the result's
+    ``telemetry`` field points at the artifact.
+    """
+    if not trace and metrics_out is None:
+        return run(scale=scale, seed=seed)
+    from repro import obs
+
+    run_dir = metrics_out or _default_run_dir(run)
+    stage = run.__module__.rsplit(".", 1)[-1].split("_")[0]  # e.g. "e01"
+    with obs.observe_run(
+        run_dir, meta={"scale": scale, "seed": seed}, trace=True
+    ) as rec:
+        with obs.span(f"{stage}/run", scale=scale, seed=seed):
+            result = run(scale=scale, seed=seed)
+        rec.set_meta(
+            experiment_id=result.experiment_id,
+            title=result.title,
+            verdict=result.verdict,
+        )
+        snapshot = obs.metrics().snapshot()
+    result.telemetry = {"run_dir": run_dir, "metrics": snapshot}
+    return result
 
 
 def main_for(run: Callable[..., ExperimentResult]) -> None:
@@ -54,5 +112,20 @@ def main_for(run: Callable[..., ExperimentResult]) -> None:
     parser = argparse.ArgumentParser(description=run.__doc__)
     parser.add_argument("--scale", default="smoke", choices=_SCALES)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="record span tracing + run artifact (default dir runs/<module>)",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="DIR",
+        help="run-artifact directory (implies observability)",
+    )
     args = parser.parse_args()
-    print(run(scale=args.scale, seed=args.seed).render())
+    result = run_observed(
+        run,
+        scale=args.scale,
+        seed=args.seed,
+        trace=args.trace,
+        metrics_out=args.metrics_out,
+    )
+    print(result.render())

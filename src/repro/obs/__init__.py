@@ -1,0 +1,94 @@
+"""``repro.obs`` — zero-dependency observability for the reproduction.
+
+The paper's subject is *time* — recovery and mixing time — so the runs
+themselves should be measurable.  This package provides, with no
+third-party dependencies and a no-op fast path when disabled:
+
+* **metrics** (:mod:`repro.obs.metrics`) — counters, gauges, timers and
+  fixed-bucket histograms in a mergeable :class:`MetricsRegistry`
+  (phase counts, RNG draws, Fact 3.2 updates, worker merges);
+* **tracing** (:mod:`repro.obs.trace`) — nested ``span("e01/...")``
+  stage timings streamed as JSONL events;
+* **run artifacts** (:mod:`repro.obs.recorder`) — ``runs/<id>/``
+  directories holding ``events.jsonl`` (spans + per-checkpoint samples
+  such as max load, TV distance, coalescence fraction, coupling
+  distance) and ``meta.json`` (seed, scale, git rev, config, metrics);
+* **reports** (:mod:`repro.obs.summarize`) — the
+  ``python -m repro obs summarize <run-dir>`` timing / convergence view.
+
+Instrumented hot paths guard every touch with :func:`enabled` — the
+whole subsystem costs one boolean check per ``run()`` call when off
+(see ``benchmarks/bench_obs.py`` for the measured overhead).  The
+usual entry point is :func:`observe_run`::
+
+    from repro import obs
+
+    with obs.observe_run("runs/demo", meta={"seed": 0}) as rec:
+        with obs.span("sweep"):
+            proc.run(10_000)
+        rec.record("max_load", proc.t, proc.max_load)
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    default_registry,
+    scoped_registry,
+)
+from repro.obs.recorder import (
+    RunArtifact,
+    RunRecorder,
+    git_revision,
+    load_run,
+    observe_run,
+)
+from repro.obs.runtime import (
+    disable,
+    enable,
+    enabled,
+    get_recorder,
+    record_sample,
+    set_recorder,
+)
+from repro.obs.summarize import render_artifact, summarize_run
+from repro.obs.trace import Tracer, get_tracer, set_tracer, span
+
+__all__ = [
+    # switch + recorder hooks
+    "enabled",
+    "enable",
+    "disable",
+    "get_recorder",
+    "set_recorder",
+    "record_sample",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Timer",
+    "Histogram",
+    "MetricsRegistry",
+    "default_registry",
+    "scoped_registry",
+    "metrics",
+    # tracing
+    "Tracer",
+    "span",
+    "set_tracer",
+    "get_tracer",
+    # run artifacts + reports
+    "RunRecorder",
+    "RunArtifact",
+    "observe_run",
+    "load_run",
+    "git_revision",
+    "summarize_run",
+    "render_artifact",
+]
+
+# Short alias used at instrumentation sites: ``obs.metrics().counter(...)``.
+metrics = default_registry

@@ -1,0 +1,242 @@
+"""Run-artifact recording: ``runs/<id>/events.jsonl`` + ``meta.json``.
+
+A :class:`RunRecorder` captures per-checkpoint time series (max load,
+empirical TV distance, coalescence fraction, coupling distance) and
+trace events into a structured run directory:
+
+* ``events.jsonl`` — one JSON object per line: ``{"type": "sample",
+  "series": ..., "step": ..., "value": ...}`` for time-series points
+  and ``{"type": "span", ...}`` for stage timings (see
+  :mod:`repro.obs.trace`);
+* ``meta.json`` — seed, scale, config, git revision, interpreter and
+  numpy versions, wall-clock bounds, final metrics snapshot.
+
+:func:`observe_run` is the one-stop context manager the experiment
+harness and CLI use: it enables observability, installs a recorder and
+a JSONL-sinked tracer, scopes a fresh metrics registry to the run, and
+finalizes the artifact on exit (also on error).  :func:`load_run`
+reads an artifact back for reports and tests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.obs import runtime
+from repro.obs.metrics import scoped_registry
+from repro.obs.trace import Tracer, set_tracer
+
+__all__ = ["RunRecorder", "RunArtifact", "observe_run", "load_run", "git_revision"]
+
+#: Per-series cap on persisted samples; overflow is counted, not stored,
+#: so a runaway trajectory cannot blow up the artifact.
+MAX_SAMPLES_PER_SERIES = 4096
+
+
+def git_revision(start_dir: str | None = None) -> str | None:
+    """Best-effort git HEAD revision, reading ``.git`` directly (no subprocess).
+
+    Walks up from *start_dir* (default: this file's repo) to find a
+    ``.git`` directory; returns ``None`` when there is none or the ref
+    cannot be resolved.
+    """
+    d = os.path.abspath(start_dir or os.path.dirname(__file__))
+    while True:
+        git_dir = os.path.join(d, ".git")
+        if os.path.isdir(git_dir):
+            break
+        parent = os.path.dirname(d)
+        if parent == d:
+            return None
+        d = parent
+    try:
+        with open(os.path.join(git_dir, "HEAD")) as f:
+            head = f.read().strip()
+        if not head.startswith("ref:"):
+            return head or None
+        ref = head.split(None, 1)[1]
+        ref_path = os.path.join(git_dir, *ref.split("/"))
+        if os.path.exists(ref_path):
+            with open(ref_path) as f:
+                return f.read().strip() or None
+        packed = os.path.join(git_dir, "packed-refs")
+        if os.path.exists(packed):
+            with open(packed) as f:
+                for line in f:
+                    line = line.strip()
+                    if line.endswith(ref) and not line.startswith("#"):
+                        return line.split()[0]
+    except OSError:
+        return None
+    return None
+
+
+class RunRecorder:
+    """Streams run events to ``<run_dir>/events.jsonl`` and keeps them in memory."""
+
+    def __init__(self, run_dir: str, *, meta: dict | None = None):
+        self.run_dir = run_dir
+        os.makedirs(run_dir, exist_ok=True)
+        self.meta: dict[str, Any] = dict(meta or {})
+        self.series: dict[str, tuple[list[int], list[float]]] = {}
+        self.events: list[dict] = []
+        self.dropped: dict[str, int] = {}
+        self._started_wall = time.time()
+        self._started_perf = time.perf_counter()
+        self._file = open(os.path.join(run_dir, "events.jsonl"), "w")
+        self._closed = False
+
+    # -- event capture --------------------------------------------------------
+
+    def emit(self, event: dict) -> None:
+        """Append one raw event (also the tracer's sink)."""
+        if self._closed:
+            return
+        self.events.append(event)
+        self._file.write(json.dumps(event, separators=(",", ":")) + "\n")
+
+    def record(self, series: str, step: int, value: float) -> None:
+        """Record one time-series sample (capped per series, see module doc)."""
+        steps, values = self.series.setdefault(series, ([], []))
+        if len(steps) >= MAX_SAMPLES_PER_SERIES:
+            self.dropped[series] = self.dropped.get(series, 0) + 1
+            return
+        step = int(step)
+        value = float(value)
+        steps.append(step)
+        values.append(value)
+        self.emit({"type": "sample", "series": series, "step": step, "value": value})
+
+    def set_meta(self, **kv) -> None:
+        """Merge key/value pairs into the run metadata."""
+        self.meta.update(kv)
+
+    # -- finalization ----------------------------------------------------------
+
+    def finish(self, *, status: str = "ok", metrics: dict | None = None) -> None:
+        """Flush events and write ``meta.json`` (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._file.close()
+        meta = {
+            "status": status,
+            "started_at": time.strftime(
+                "%Y-%m-%dT%H:%M:%S%z", time.localtime(self._started_wall)
+            ),
+            "duration_s": round(time.perf_counter() - self._started_perf, 6),
+            "git_rev": git_revision(),
+            "python": platform.python_version(),
+            "argv": sys.argv,
+            "series": {
+                name: len(steps) for name, (steps, _) in sorted(self.series.items())
+            },
+            "dropped_samples": dict(sorted(self.dropped.items())),
+        }
+        try:
+            import numpy
+
+            meta["numpy"] = numpy.__version__
+        except Exception:  # pragma: no cover - numpy is a hard dep in practice
+            pass
+        if metrics is not None:
+            meta["metrics"] = metrics
+        meta.update(self.meta)
+        path = os.path.join(self.run_dir, "meta.json")
+        with open(path, "w") as f:
+            json.dump(meta, f, indent=2, sort_keys=True)
+            f.write("\n")
+
+    def __enter__(self) -> "RunRecorder":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.finish(status="ok" if exc_type is None else "error")
+        return False
+
+
+@dataclass
+class RunArtifact:
+    """A run directory read back into memory (see :func:`load_run`)."""
+
+    run_dir: str
+    meta: dict = field(default_factory=dict)
+    events: list = field(default_factory=list)
+
+    @property
+    def spans(self) -> list[dict]:
+        """The span events, in completion order."""
+        return [e for e in self.events if e.get("type") == "span"]
+
+    @property
+    def series(self) -> dict[str, tuple[list[int], list[float]]]:
+        """Sample events regrouped as ``name -> (steps, values)``."""
+        out: dict[str, tuple[list[int], list[float]]] = {}
+        for e in self.events:
+            if e.get("type") != "sample":
+                continue
+            steps, values = out.setdefault(e["series"], ([], []))
+            steps.append(int(e["step"]))
+            values.append(float(e["value"]))
+        return out
+
+
+def load_run(run_dir: str) -> RunArtifact:
+    """Read a run artifact directory written by :class:`RunRecorder`."""
+    meta_path = os.path.join(run_dir, "meta.json")
+    events_path = os.path.join(run_dir, "events.jsonl")
+    if not os.path.exists(meta_path) and not os.path.exists(events_path):
+        raise FileNotFoundError(f"{run_dir!r} holds no meta.json / events.jsonl")
+    meta: dict = {}
+    if os.path.exists(meta_path):
+        with open(meta_path) as f:
+            meta = json.load(f)
+    events: list[dict] = []
+    if os.path.exists(events_path):
+        with open(events_path) as f:
+            for line in f:
+                line = line.strip()
+                if line:
+                    events.append(json.loads(line))
+    return RunArtifact(run_dir=run_dir, meta=meta, events=events)
+
+
+@contextmanager
+def observe_run(
+    run_dir: str,
+    *,
+    meta: dict | None = None,
+    trace: bool = True,
+) -> Iterator[RunRecorder]:
+    """Observe one run: enable instrumentation, record into *run_dir*.
+
+    Installs a :class:`RunRecorder` as the active recorder, a tracer
+    whose span events stream into ``events.jsonl`` (when *trace*), and
+    a fresh scoped metrics registry whose final snapshot lands in
+    ``meta.json``.  All global state is restored on exit, and the
+    artifact is finalized even if the body raises.
+    """
+    rec = RunRecorder(run_dir, meta=meta)
+    was_enabled = runtime.enabled()
+    runtime.enable()
+    prev_rec = runtime.set_recorder(rec)
+    prev_tracer = set_tracer(Tracer(sink=rec.emit)) if trace else None
+    status = "error"
+    with scoped_registry() as reg:
+        try:
+            yield rec
+            status = "ok"
+        finally:
+            if trace:
+                set_tracer(prev_tracer)
+            runtime.set_recorder(prev_rec)
+            if not was_enabled:
+                runtime.disable()
+            rec.finish(status=status, metrics=reg.snapshot())

@@ -1,0 +1,69 @@
+"""The observability on/off switch and the active run recorder.
+
+This module exists so the hot loops can guard instrumentation with a
+single cheap check (``if obs.enabled():``) without importing the
+heavier metrics / recorder machinery into their fast path, and without
+import cycles inside :mod:`repro.obs`.
+
+Everything here is re-exported from :mod:`repro.obs`; instrumented
+modules use that facade.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.recorder import RunRecorder
+
+__all__ = [
+    "enabled",
+    "enable",
+    "disable",
+    "get_recorder",
+    "set_recorder",
+    "record_sample",
+]
+
+_enabled = False
+_recorder: Optional["RunRecorder"] = None
+
+
+def enabled() -> bool:
+    """True when instrumentation should record (the hot-path guard)."""
+    return _enabled
+
+
+def enable() -> None:
+    """Turn instrumentation on process-wide."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn instrumentation off process-wide."""
+    global _enabled
+    _enabled = False
+
+
+def set_recorder(recorder: Optional["RunRecorder"]) -> Optional["RunRecorder"]:
+    """Install (or clear) the active run recorder; returns the previous one."""
+    global _recorder
+    prev = _recorder
+    _recorder = recorder
+    return prev
+
+
+def get_recorder() -> Optional["RunRecorder"]:
+    """The active run recorder, or ``None`` outside an observed run."""
+    return _recorder
+
+
+def record_sample(series: str, step: int, value: float) -> None:
+    """Record one time-series sample on the active recorder (no-op without one).
+
+    Callers guard with :func:`enabled` first, so the common disabled
+    path never reaches this function.
+    """
+    if _recorder is not None:
+        _recorder.record(series, step, value)

@@ -1,0 +1,100 @@
+"""Human-readable report over a recorded run artifact.
+
+``python -m repro obs summarize runs/demo`` renders:
+
+* a header from ``meta.json`` (experiment, scale, seed, git rev,
+  duration, status);
+* a stage-timing table aggregating span events by name (count, total,
+  mean, max, share of the observed wall clock);
+* one ASCII sparkline per recorded time series (max load, TV distance,
+  coalescence fraction, …) with its range, reusing
+  :func:`repro.utils.ascii_plot.sparkline`;
+* the headline counters from the final metrics snapshot.
+"""
+
+from __future__ import annotations
+
+from repro.obs.recorder import RunArtifact, load_run
+from repro.utils.ascii_plot import sparkline
+from repro.utils.tables import Table
+
+__all__ = ["summarize_run", "render_artifact"]
+
+
+def _stage_table(artifact: RunArtifact) -> Table | None:
+    spans = artifact.spans
+    if not spans:
+        return None
+    agg: dict[str, dict] = {}
+    for s in spans:
+        a = agg.setdefault(
+            s["name"], {"count": 0, "total": 0.0, "max": 0.0, "depth": s.get("depth", 0)}
+        )
+        a["count"] += 1
+        a["total"] += float(s["dur_s"])
+        a["max"] = max(a["max"], float(s["dur_s"]))
+        a["depth"] = min(a["depth"], s.get("depth", 0))
+    # Share is measured against the top-level spans only, so nested
+    # stages do not double-count the denominator.
+    top_total = sum(
+        float(s["dur_s"]) for s in spans if s.get("depth", 0) == 0
+    ) or sum(a["total"] for a in agg.values())
+    t = Table(
+        ["stage", "count", "total s", "mean s", "max s", "share"],
+        title="stage timings (aggregated spans)",
+    )
+    for name, a in sorted(agg.items(), key=lambda kv: -kv[1]["total"]):
+        label = "  " * a["depth"] + name
+        share = a["total"] / top_total if top_total else 0.0
+        t.add_row(
+            [label, a["count"], a["total"], a["total"] / a["count"], a["max"],
+             f"{100.0 * share:.1f}%"]
+        )
+    return t
+
+
+def _series_table(artifact: RunArtifact) -> Table | None:
+    series = artifact.series
+    if not series:
+        return None
+    t = Table(
+        ["series", "samples", "first", "last", "min", "max", "trend"],
+        title="convergence traces",
+    )
+    for name, (steps, values) in sorted(series.items()):
+        t.add_row(
+            [name, len(values), values[0], values[-1], min(values), max(values),
+             sparkline(values)]
+        )
+    return t
+
+
+def render_artifact(artifact: RunArtifact) -> str:
+    """Render the full report for an in-memory :class:`RunArtifact`."""
+    meta = artifact.meta
+    head = [f"run artifact: {artifact.run_dir}"]
+    for key in ("experiment_id", "title", "scale", "seed", "verdict", "status",
+                "started_at", "duration_s", "git_rev", "python", "numpy"):
+        if key in meta:
+            head.append(f"  {key}: {meta[key]}")
+    parts = ["\n".join(head)]
+    stage = _stage_table(artifact)
+    if stage is not None:
+        parts.append(stage.render())
+    series = _series_table(artifact)
+    if series is not None:
+        parts.append(series.render())
+    counters = meta.get("metrics", {}).get("counters", {})
+    if counters:
+        t = Table(["counter", "value"], title="counters")
+        for name, value in sorted(counters.items()):
+            t.add_row([name, value])
+        parts.append(t.render())
+    if len(parts) == 1:
+        parts.append("(no spans, samples, or metrics recorded)")
+    return "\n\n".join(parts)
+
+
+def summarize_run(run_dir: str) -> str:
+    """Load *run_dir* and render its timing / convergence report."""
+    return render_artifact(load_run(run_dir))

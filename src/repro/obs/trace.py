@@ -1,0 +1,114 @@
+"""Span-based tracing with a JSONL event sink.
+
+``with span("e01/replica-sweep"):`` times a named stage; on exit the
+span emits one event dict to the installed :class:`Tracer`, which
+buffers it (and forwards it to a sink callable — typically
+:meth:`repro.obs.recorder.RunRecorder.emit`, which appends JSONL).
+Spans nest: each event carries its depth and its parent's name, so a
+trace file reconstructs the wall-clock breakdown of a run.
+
+When observability is disabled, or no tracer is installed,
+:func:`span` returns a shared no-op context manager — the fast path
+allocates nothing.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable
+
+__all__ = ["Tracer", "span", "set_tracer", "get_tracer"]
+
+
+class _NullSpan:
+    """Shared do-nothing context manager for the disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """One live span; emits its event on ``__exit__``."""
+
+    __slots__ = ("_tracer", "name", "attrs", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict):
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self):
+        self._tracer._stack.append(self.name)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        dur = time.perf_counter() - self._t0
+        tracer = self._tracer
+        stack = tracer._stack
+        stack.pop()
+        event: dict[str, Any] = {
+            "type": "span",
+            "name": self.name,
+            "depth": len(stack),
+            "parent": stack[-1] if stack else None,
+            "t": round(time.perf_counter() - tracer.epoch, 9),
+            "dur_s": round(dur, 9),
+        }
+        if self.attrs:
+            event["attrs"] = self.attrs
+        if exc_type is not None:
+            event["error"] = exc_type.__name__
+        tracer.emit(event)
+        return False
+
+
+class Tracer:
+    """Collects span events in memory and forwards them to a sink."""
+
+    def __init__(self, sink: Callable[[dict], None] | None = None):
+        self.sink = sink
+        self.events: list[dict] = []
+        self.epoch = time.perf_counter()
+        self._stack: list[str] = []
+
+    def span(self, name: str, **attrs) -> _Span:
+        """Open a named span (use as a context manager)."""
+        return _Span(self, name, attrs)
+
+    def emit(self, event: dict) -> None:
+        """Record one event and forward it to the sink, if any."""
+        self.events.append(event)
+        if self.sink is not None:
+            self.sink(event)
+
+
+_tracer: Tracer | None = None
+
+
+def set_tracer(tracer: Tracer | None) -> Tracer | None:
+    """Install (or clear, with ``None``) the global tracer; returns the old one."""
+    global _tracer
+    prev = _tracer
+    _tracer = tracer
+    return prev
+
+
+def get_tracer() -> Tracer | None:
+    """The currently installed global tracer (``None`` when tracing is off)."""
+    return _tracer
+
+
+def span(name: str, **attrs):
+    """A span on the global tracer, or a shared no-op if none is installed."""
+    if _tracer is None:
+        return _NULL_SPAN
+    return _tracer.span(name, **attrs)

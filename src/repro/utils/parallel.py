@@ -10,6 +10,11 @@ The function to run must be a module-level callable (picklable).  With
 ``processes=1`` everything runs inline — handy for tests and for
 platforms where fork semantics are awkward — and results are identical
 to the parallel path because the seeds are derived the same way.
+
+When :mod:`repro.obs` is enabled, each call runs against a fresh scoped
+metrics registry whose snapshot rides back with the result and is
+merged into the parent's default registry — so fleet metrics survive
+the process boundary, identically on the inline and pooled paths.
 """
 
 from __future__ import annotations
@@ -17,14 +22,32 @@ from __future__ import annotations
 import multiprocessing as mp
 from typing import Any, Callable, Sequence
 
+from repro import obs
 from repro.utils.rng import SeedLike, spawn_seeds
 
 __all__ = ["parallel_replica_map"]
 
 
 def _call(payload):
-    fn, item, seed_seq, kwargs = payload
-    return fn(item, seed_seq, **kwargs)
+    fn, item, seed_seq, kwargs, capture = payload
+    if not capture:
+        return fn(item, seed_seq, **kwargs), None
+    from repro.obs import runtime, set_tracer
+    from repro.obs.metrics import scoped_registry
+
+    # Metrics go to a scratch registry that rides back with the result.
+    # The recorder and tracer are detached for the call: a forked worker
+    # must not write to the parent's events.jsonl file descriptor, and
+    # the inline path mirrors that so both paths behave identically.
+    with scoped_registry() as reg:
+        prev_rec = runtime.set_recorder(None)
+        prev_tracer = set_tracer(None)
+        try:
+            out = fn(item, seed_seq, **kwargs)
+        finally:
+            runtime.set_recorder(prev_rec)
+            set_tracer(prev_tracer)
+    return out, reg.snapshot()
 
 
 def parallel_replica_map(
@@ -40,15 +63,32 @@ def parallel_replica_map(
 
     Each call receives its own spawned ``SeedSequence``.  ``processes``
     defaults to ``min(len(items), cpu_count())``; ``processes=1`` runs
-    inline (no pool).  Results preserve input order.
+    inline (no pool).  Results preserve input order.  Worker exceptions
+    propagate to the caller on both paths.
     """
     items = list(items)
     seeds = spawn_seeds(seed, len(items))
-    payloads = [(fn, item, s, kwargs) for item, s in zip(items, seeds)]
+    capture = obs.enabled()
+    payloads = [(fn, item, s, kwargs, capture) for item, s in zip(items, seeds)]
     if processes is None:
         processes = min(len(items), mp.cpu_count()) or 1
-    if processes <= 1 or len(items) <= 1:
-        return [_call(p) for p in payloads]
-    ctx = mp.get_context("fork") if "fork" in mp.get_all_start_methods() else mp.get_context()
-    with ctx.Pool(processes=processes) as pool:
-        return pool.map(_call, payloads, chunksize=chunksize)
+    inline = processes <= 1 or len(items) <= 1
+    with obs.span("parallel/map", items=len(items),
+                  processes=1 if inline else processes):
+        if inline:
+            outs = [_call(p) for p in payloads]
+        else:
+            ctx = (
+                mp.get_context("fork")
+                if "fork" in mp.get_all_start_methods()
+                else mp.get_context()
+            )
+            with ctx.Pool(processes=processes) as pool:
+                outs = pool.map(_call, payloads, chunksize=chunksize)
+    if capture:
+        reg = obs.metrics()
+        reg.counter("parallel.replicas").inc(len(items))
+        for _, snap in outs:
+            if snap:
+                reg.merge(snap)
+    return [result for result, _ in outs]
