@@ -5,7 +5,8 @@ PY ?= python
 # tier-1 command in ROADMAP.md).
 PYPATH = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-fast bench examples report report-paper verify all
+.PHONY: install test test-fast bench bench-quick bench-diff bench-pytest \
+	examples report report-paper verify all
 
 install:
 	$(PY) setup.py develop
@@ -16,7 +17,19 @@ test:
 test-fast:
 	$(PYPATH) $(PY) -m pytest tests/ -m "not slow"
 
+# Unified runner: writes a schema-versioned BENCH_*.json perf artifact
+# (see docs/BENCHMARKING.md).
 bench:
+	$(PYPATH) $(PY) -m repro bench run
+
+bench-quick:
+	$(PYPATH) $(PY) -m repro bench run --filter primitives --repeats 1 --quick
+
+# Usage: make bench-diff A=BENCH_old.json B=BENCH_new.json
+bench-diff:
+	$(PYPATH) $(PY) -m repro obs diff $(A) $(B)
+
+bench-pytest:
 	$(PYPATH) $(PY) -m pytest benchmarks/ --benchmark-only
 
 examples:

@@ -11,12 +11,20 @@ Commands:
 * ``verify``   — machine-verify the paper's coupling lemmas on small
   exhaustive domains (exits nonzero on any violation);
 * ``static``   — static allocation baseline (max load for d = 1..D);
-* ``obs``      — inspect recorded run artifacts
-  (``obs summarize <run-dir>`` prints the timing/convergence report).
+* ``bench``    — unified benchmark runner (``bench run`` discovers
+  ``benchmarks/bench_*.py``, times them with warmup + repeats and
+  RSS/CPU sampling, and writes a ``BENCH_<timestamp>_<gitrev>.json``
+  perf artifact; ``bench list`` shows what would run);
+* ``obs``      — inspect recorded perf/run artifacts:
+  ``obs summarize <run-dir>`` prints the timing/convergence report,
+  ``obs diff A B`` compares two bench JSONs or run dirs with bootstrap
+  CIs and improved/regressed/unchanged verdicts, and ``obs gc`` prunes
+  old ``runs/<id>/`` directories (dry-run by default).
 
 Every command takes ``--seed`` for reproducibility.  ``experiment``
 additionally takes ``--trace`` / ``--metrics-out DIR`` to record a run
-artifact (``events.jsonl`` + ``meta.json``) via :mod:`repro.obs`.
+artifact (``events.jsonl`` + ``meta.json``) via :mod:`repro.obs`, and
+``--profile`` to attach a cProfile capture to it.
 """
 
 from __future__ import annotations
@@ -68,11 +76,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out", default=None, metavar="DIR",
         help="run-artifact directory (implies observability)",
     )
+    p.add_argument(
+        "--profile", action="store_true",
+        help="wrap the run in cProfile; writes profile.pstats + a top-N "
+        "self-time table into the run dir (implies observability)",
+    )
 
     p = sub.add_parser("report", help="run all experiments, write EXPERIMENTS.md")
     p.add_argument("--scale", choices=("smoke", "paper"), default="smoke")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", default="EXPERIMENTS.md")
+    p.add_argument(
+        "--no-progress", action="store_true",
+        help="suppress the per-experiment heartbeat/ETA lines on stderr",
+    )
 
     p = sub.add_parser("verify", help="machine-verify the coupling lemmas")
     p.add_argument("--n", type=int, default=4)
@@ -91,12 +108,71 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--replicas", type=int, default=5)
     p.add_argument("--seed", type=int, default=0)
 
-    p = sub.add_parser("obs", help="inspect recorded run artifacts")
+    p = sub.add_parser("bench", help="unified benchmark runner")
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+    pb = bench_sub.add_parser(
+        "run", help="time benchmarks/bench_*.py, write a BENCH_*.json artifact"
+    )
+    pb.add_argument(
+        "--filter", default=None, metavar="SUBSTR",
+        help="only benches whose file stem or file::function id contains SUBSTR",
+    )
+    pb.add_argument("--repeats", type=int, default=5,
+                    help="timed rounds per bench (default 5)")
+    pb.add_argument("--warmup", type=int, default=1,
+                    help="warmup rounds per bench (default 1)")
+    pb.add_argument(
+        "--quick", action="store_true",
+        help="skip calibration/warmup (1 iteration per round) for CI smoke",
+    )
+    pb.add_argument(
+        "--profile", action="store_true",
+        help="cProfile each bench's timed rounds; .pstats per bench in the run dir",
+    )
+    pb.add_argument("--bench-dir", default="benchmarks",
+                    help="directory holding bench_*.py (default benchmarks)")
+    pb.add_argument("--out-dir", default=".",
+                    help="where the BENCH_*.json lands (default: cwd)")
+    pb.add_argument("--run-dir", default=None, metavar="DIR",
+                    help="run-artifact directory (default runs/bench-<timestamp>)")
+    pb.add_argument("--no-progress", action="store_true",
+                    help="suppress per-bench heartbeat lines on stderr")
+    pl = bench_sub.add_parser("list", help="list discovered benches without running")
+    pl.add_argument("--filter", default=None, metavar="SUBSTR")
+    pl.add_argument("--bench-dir", default="benchmarks")
+
+    p = sub.add_parser("obs", help="inspect recorded perf/run artifacts")
     obs_sub = p.add_subparsers(dest="obs_command", required=True)
     ps = obs_sub.add_parser(
         "summarize", help="print a timing/convergence report of a run directory"
     )
     ps.add_argument("run_dir", help="run-artifact directory (e.g. runs/demo)")
+    pd = obs_sub.add_parser(
+        "diff", help="compare two BENCH_*.json artifacts or runs/<id> directories"
+    )
+    pd.add_argument("a", help="baseline: BENCH_*.json or run directory")
+    pd.add_argument("b", help="candidate: BENCH_*.json or run directory")
+    pd.add_argument("--json", action="store_true", dest="as_json",
+                    help="machine-readable output instead of the table")
+    pd.add_argument("--threshold", type=float, default=0.05,
+                    help="relative change needed for a verdict (default 0.05 = 5%%)")
+    pd.add_argument("--bootstrap", type=int, default=2000,
+                    help="bootstrap resamples for the CI (default 2000)")
+    pd.add_argument("--seed", type=int, default=0,
+                    help="bootstrap RNG seed (deterministic CIs)")
+    pd.add_argument(
+        "--fail-on-regression", action="store_true",
+        help="exit 1 when any metric is significantly regressed",
+    )
+    pg = obs_sub.add_parser(
+        "gc", help="prune old runs/<id> directories by mtime (dry-run by default)"
+    )
+    pg.add_argument("--keep", type=int, default=10,
+                    help="newest run dirs to keep (default 10)")
+    pg.add_argument("--runs-dir", default="runs",
+                    help="artifact root to prune (default runs)")
+    pg.add_argument("--apply", action="store_true",
+                    help="actually delete (default: print what would go)")
 
     return parser
 
@@ -198,6 +274,7 @@ def _cmd_experiment(args) -> int:
         seed=args.seed,
         trace=args.trace,
         metrics_out=args.metrics_out,
+        profile=args.profile,
     )
     print(result.render())
     return 0 if "VIOLATED" not in result.verdict else 1
@@ -206,7 +283,7 @@ def _cmd_experiment(args) -> int:
 def _cmd_report(args) -> int:
     from repro.experiments.report import generate
 
-    text = generate(args.scale, args.seed)
+    text = generate(args.scale, args.seed, progress=not args.no_progress)
     with open(args.out, "w") as f:
         f.write(text)
     print(f"wrote {args.out}")
@@ -281,8 +358,84 @@ def _cmd_diagnose(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.obs.bench import discover, render_bench_payload, run_benchmarks
+
+    if args.bench_command == "list":
+        try:
+            specs = discover(args.bench_dir, args.filter)
+        except FileNotFoundError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        from repro.utils.tables import Table
+
+        t = Table(["bench", "fixtures", "status"], title="discovered benchmarks")
+        for s in specs:
+            t.add_row([
+                s.bench_id, ", ".join(s.params) or "-",
+                s.skip_reason or "runnable",
+            ])
+        print(t.render())
+        return 0
+
+    try:
+        json_path, payload = run_benchmarks(
+            bench_dir=args.bench_dir,
+            pattern=args.filter,
+            repeats=args.repeats,
+            warmup=args.warmup,
+            quick=args.quick,
+            profile=args.profile,
+            out_dir=args.out_dir,
+            run_dir=args.run_dir,
+            progress=not args.no_progress,
+        )
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(render_bench_payload(payload))
+    print(f"\nwrote {json_path} (run artifact: {payload['run_dir']})")
+    errors = [b for b in payload["benches"] if b.get("status") == "error"]
+    for b in errors:
+        print(f"bench error: {b['id']}: {b.get('error')}", file=sys.stderr)
+    return 1 if errors else 0
+
+
 def _cmd_obs(args) -> int:
-    import sys
+    if args.obs_command == "diff":
+        import json as _json
+
+        from repro.obs.compare import compare_paths, compare_to_json, render_compare
+
+        try:
+            result = compare_paths(
+                args.a, args.b,
+                threshold=args.threshold, n_boot=args.bootstrap, seed=args.seed,
+            )
+        except (FileNotFoundError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.as_json:
+            print(_json.dumps(compare_to_json(result), indent=2, sort_keys=True))
+        else:
+            print(render_compare(result))
+        if args.fail_on_regression and result.has_regression:
+            return 1
+        return 0
+
+    if args.obs_command == "gc":
+        from repro.obs import gc_runs
+
+        report = gc_runs(args.runs_dir, keep=args.keep, apply=args.apply)
+        verb = "removed" if report["applied"] else "would remove"
+        for path in report["pruned"]:
+            print(f"{verb} {path}")
+        tail = "" if report["applied"] else ", dry run — pass --apply to delete"
+        print(
+            f"{len(report['kept'])} kept, {len(report['pruned'])} pruned "
+            f"(keep={args.keep}{tail})"
+        )
+        return 0
 
     from repro.obs import summarize_run
 
@@ -302,6 +455,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "verify": _cmd_verify,
     "static": _cmd_static,
+    "bench": _cmd_bench,
     "obs": _cmd_obs,
 }
 

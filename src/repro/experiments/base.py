@@ -1,18 +1,24 @@
-"""Common experiment infrastructure: results, scales, CLI driver."""
+"""Common experiment infrastructure: results, scales, progress, CLI driver."""
 
 from __future__ import annotations
 
 import argparse
 import os
+import sys
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
 
 from repro.utils.tables import Table
 
 __all__ = [
     "ExperimentResult",
+    "ProgressReporter",
     "Scale",
     "check_scale",
+    "eta_seconds",
+    "format_duration",
     "main_for",
     "run_observed",
 ]
@@ -58,6 +64,11 @@ class ExperimentResult:
                 f"telemetry: run artifact at {self.telemetry['run_dir']} "
                 f"(try: python -m repro obs summarize {self.telemetry['run_dir']})"
             )
+        if self.telemetry and "profile" in self.telemetry:
+            parts.append(
+                f"profile: {self.telemetry['profile']['pstats']} "
+                "(rendered top-N table in profile_top.txt)"
+            )
         return "\n\n".join(parts)
 
     def __str__(self) -> str:
@@ -69,6 +80,78 @@ def _default_run_dir(run: Callable[..., ExperimentResult]) -> str:
     return os.path.join("runs", run.__module__.rsplit(".", 1)[-1])
 
 
+# -- progress / heartbeat ------------------------------------------------------
+
+
+def eta_seconds(completed_durations: Sequence[float], remaining: int) -> float:
+    """Mean-rate extrapolation: remaining tasks × mean completed duration.
+
+    Returns 0.0 when nothing remains or nothing has completed yet (no
+    basis for extrapolation).
+    """
+    if remaining <= 0 or not completed_durations:
+        return 0.0
+    return remaining * (sum(completed_durations) / len(completed_durations))
+
+
+def format_duration(seconds: float) -> str:
+    """Compact human duration: ``8.2s``, ``3m05s``, ``1h12m``."""
+    seconds = max(0.0, float(seconds))
+    if seconds < 60.0:
+        return f"{seconds:.1f}s"
+    if seconds < 3600.0:
+        m, s = divmod(int(round(seconds)), 60)
+        return f"{m}m{s:02d}s"
+    h, m = divmod(int(round(seconds / 60.0)), 60)
+    return f"{h}h{m:02d}m"
+
+
+class ProgressReporter:
+    """Start/finish heartbeat lines with elapsed time and an ETA.
+
+    The 20-minute paper-scale report used to emit *nothing* until it
+    was done; wrapping each experiment in :meth:`task` prints::
+
+        [3/15] E3 — scenario B recovery ...
+        [3/15] E3 — scenario B recovery done in 1m12s (elapsed 4m03s, eta ~14m)
+
+    to *stream* (stderr by default, so stdout output stays clean),
+    flushed immediately.  The ETA is extrapolated from the mean of
+    completed tasks (:func:`eta_seconds`).  ``enabled=False`` turns the
+    reporter into a no-op, keeping call sites branch-free.
+    """
+
+    def __init__(self, total: int, *, stream: Any = None, enabled: bool = True):
+        self.total = total
+        self.stream = stream
+        self.enabled = enabled
+        self.durations: list[float] = []
+        self._t0 = time.perf_counter()
+
+    def emit(self, text: str) -> None:
+        if self.enabled:
+            print(text, file=self.stream or sys.stderr, flush=True)
+
+    @contextmanager
+    def task(self, label: str):
+        i = len(self.durations) + 1
+        self.emit(f"[{i}/{self.total}] {label} ...")
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            now = time.perf_counter()
+            self.durations.append(now - t0)
+            remaining = self.total - len(self.durations)
+            eta = eta_seconds(self.durations, remaining)
+            tail = f", eta ~{format_duration(eta)}" if remaining > 0 else ""
+            self.emit(
+                f"[{i}/{self.total}] {label} done in "
+                f"{format_duration(now - t0)} "
+                f"(elapsed {format_duration(now - self._t0)}{tail})"
+            )
+
+
 def run_observed(
     run: Callable[..., ExperimentResult],
     *,
@@ -76,27 +159,40 @@ def run_observed(
     seed: int = 0,
     trace: bool = False,
     metrics_out: str | None = None,
+    profile: bool = False,
 ) -> ExperimentResult:
     """Run an experiment, optionally under full observability.
 
-    With neither *trace* nor *metrics_out* this is exactly
-    ``run(scale=scale, seed=seed)``.  Otherwise the run executes inside
-    :func:`repro.obs.observe_run`: span tracing and per-checkpoint
-    series stream into ``<run_dir>/events.jsonl``, the metrics snapshot
-    and run config land in ``<run_dir>/meta.json``, and the result's
-    ``telemetry`` field points at the artifact.
+    With neither *trace*, *metrics_out* nor *profile* this is exactly
+    ``run(scale=scale, seed=seed)`` — the flag-off path adds zero work.
+    Otherwise the run executes inside :func:`repro.obs.observe_run`:
+    span tracing and per-checkpoint series stream into
+    ``<run_dir>/events.jsonl``, the metrics snapshot and run config land
+    in ``<run_dir>/meta.json``, and the result's ``telemetry`` field
+    points at the artifact.  *profile* additionally wraps the run in
+    ``cProfile`` (:mod:`repro.obs.profile`), dropping
+    ``profile.pstats`` + a rendered ``profile_top.txt`` top-N self-time
+    table into the run dir and a ``{"type": "profile"}`` event into the
+    span stream.
     """
-    if not trace and metrics_out is None:
+    if not trace and metrics_out is None and not profile:
         return run(scale=scale, seed=seed)
     from repro import obs
 
     run_dir = metrics_out or _default_run_dir(run)
     stage = run.__module__.rsplit(".", 1)[-1].split("_")[0]  # e.g. "e01"
+    prof = None
     with obs.observe_run(
         run_dir, meta={"scale": scale, "seed": seed}, trace=True
     ) as rec:
         with obs.span(f"{stage}/run", scale=scale, seed=seed):
-            result = run(scale=scale, seed=seed)
+            if profile:
+                from repro.obs.profile import profiled
+
+                with profiled(os.path.join(run_dir, "profile.pstats")) as prof:
+                    result = run(scale=scale, seed=seed)
+            else:
+                result = run(scale=scale, seed=seed)
         rec.set_meta(
             experiment_id=result.experiment_id,
             title=result.title,
@@ -104,6 +200,14 @@ def run_observed(
         )
         snapshot = obs.metrics().snapshot()
     result.telemetry = {"run_dir": run_dir, "metrics": snapshot}
+    if prof is not None and prof.summary is not None:
+        with open(os.path.join(run_dir, "profile_top.txt"), "w") as f:
+            f.write(prof.summary.render() + "\n")
+        result.telemetry["profile"] = {
+            "pstats": prof.summary.pstats_path,
+            "total_s": prof.summary.total_s,
+            "top": prof.summary.rows,
+        }
     return result
 
 
@@ -120,6 +224,11 @@ def main_for(run: Callable[..., ExperimentResult]) -> None:
         "--metrics-out", default=None, metavar="DIR",
         help="run-artifact directory (implies observability)",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="wrap the run in cProfile; writes profile.pstats + top-N "
+        "self-time table into the run dir (implies observability)",
+    )
     args = parser.parse_args()
     result = run_observed(
         run,
@@ -127,5 +236,6 @@ def main_for(run: Callable[..., ExperimentResult]) -> None:
         seed=args.seed,
         trace=args.trace,
         metrics_out=args.metrics_out,
+        profile=args.profile,
     )
     print(result.render())

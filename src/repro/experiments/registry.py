@@ -21,7 +21,7 @@ from repro.experiments import (
     e14_relocation,
     e15_custom_removal,
 )
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentResult, ProgressReporter
 
 __all__ = ["EXPERIMENTS", "get_experiment", "run_experiment", "run_all"]
 
@@ -66,12 +66,26 @@ def run_experiment(
     return get_experiment(experiment_id)(scale=scale, seed=seed)
 
 
-def run_all(scale: str = "smoke", seed: int = 0) -> dict[str, ExperimentResult]:
-    """Run every registered experiment; returns id → result."""
-    return {
-        eid: EXPERIMENTS[eid](scale=scale, seed=seed)
-        for eid in sorted(EXPERIMENTS, key=lambda e: int(e[1:]))
-    }
+def run_all(
+    scale: str = "smoke",
+    seed: int = 0,
+    progress: "ProgressReporter | None" = None,
+) -> dict[str, ExperimentResult]:
+    """Run every registered experiment; returns id → result.
+
+    With a :class:`~repro.experiments.base.ProgressReporter`, each
+    experiment gets start/finish heartbeat lines with elapsed time and
+    an ETA — the paper-scale sweep is ~20 minutes, and used to be
+    silent throughout.
+    """
+    results: dict[str, ExperimentResult] = {}
+    for eid in sorted(EXPERIMENTS, key=lambda e: int(e[1:])):
+        if progress is None:
+            results[eid] = EXPERIMENTS[eid](scale=scale, seed=seed)
+        else:
+            with progress.task(f"{eid} — {TITLES[eid]} (scale={scale})"):
+                results[eid] = EXPERIMENTS[eid](scale=scale, seed=seed)
+    return results
 
 
 if __name__ == "__main__":

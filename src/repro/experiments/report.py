@@ -10,6 +10,7 @@ from __future__ import annotations
 import argparse
 import time
 
+from repro.experiments.base import ProgressReporter
 from repro.experiments.registry import EXPERIMENTS, TITLES, run_all
 
 # What the paper claims, per experiment — the 'expected' column of the
@@ -106,10 +107,21 @@ PAPER_CLAIMS: dict[str, str] = {
 }
 
 
-def generate(scale: str, seed: int) -> str:
-    """Run everything and render the EXPERIMENTS.md body."""
+def generate(scale: str, seed: int, *, progress: bool = True) -> str:
+    """Run everything and render the EXPERIMENTS.md body.
+
+    By default each experiment emits start/finish heartbeat lines with
+    elapsed time and an ETA to stderr (stdout stays pure markdown), so
+    the ~20-minute paper-scale run is observable live; ``progress=False``
+    restores the silent behaviour for tests and scripting.
+    """
     t0 = time.time()
-    results = run_all(scale=scale, seed=seed)
+    reporter = ProgressReporter(len(EXPERIMENTS), enabled=progress)
+    reporter.emit(
+        f"report: running {len(EXPERIMENTS)} experiments at scale={scale}, "
+        f"seed={seed}"
+    )
+    results = run_all(scale=scale, seed=seed, progress=reporter)
     lines = [
         "# EXPERIMENTS — paper vs. measured",
         "",
@@ -150,8 +162,12 @@ def main() -> None:
     parser.add_argument("--scale", default="smoke", choices=("smoke", "paper"))
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--out", default=None, help="write to file instead of stdout")
+    parser.add_argument(
+        "--no-progress", action="store_true",
+        help="suppress the per-experiment heartbeat lines on stderr",
+    )
     args = parser.parse_args()
-    text = generate(args.scale, args.seed)
+    text = generate(args.scale, args.seed, progress=not args.no_progress)
     if args.out:
         with open(args.out, "w") as f:
             f.write(text)

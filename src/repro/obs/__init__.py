@@ -14,7 +14,19 @@ third-party dependencies and a no-op fast path when disabled:
   such as max load, TV distance, coalescence fraction, coupling
   distance) and ``meta.json`` (seed, scale, git rev, config, metrics);
 * **reports** (:mod:`repro.obs.summarize`) — the
-  ``python -m repro obs summarize <run-dir>`` timing / convergence view.
+  ``python -m repro obs summarize <run-dir>`` timing / convergence view;
+* **benchmarks** (:mod:`repro.obs.bench`) — the unified
+  ``python -m repro bench run`` runner writing schema-versioned
+  ``BENCH_*.json`` perf artifacts with RSS/CPU telemetry;
+* **regression diffs** (:mod:`repro.obs.compare`) — ``repro obs diff``
+  over two bench artifacts or run dirs, with bootstrap CIs and
+  improved/regressed/unchanged verdicts;
+* **profiling** (:mod:`repro.obs.profile`) — opt-in ``--profile``
+  cProfile capture attached to the run artifact.
+
+The bench/compare/profile modules are imported lazily (by the CLI and
+tests), not at package import — the instrumentation facade below stays
+as cheap as in PR 1.
 
 Instrumented hot paths guard every touch with :func:`enabled` — the
 whole subsystem costs one boolean check per ``run()`` call when off
@@ -43,6 +55,7 @@ from repro.obs.metrics import (
 from repro.obs.recorder import (
     RunArtifact,
     RunRecorder,
+    gc_runs,
     git_revision,
     load_run,
     observe_run,
@@ -52,6 +65,7 @@ from repro.obs.runtime import (
     enable,
     enabled,
     get_recorder,
+    record_event,
     record_sample,
     set_recorder,
 )
@@ -66,6 +80,7 @@ __all__ = [
     "get_recorder",
     "set_recorder",
     "record_sample",
+    "record_event",
     # metrics
     "Counter",
     "Gauge",
@@ -86,6 +101,7 @@ __all__ = [
     "observe_run",
     "load_run",
     "git_revision",
+    "gc_runs",
     "summarize_run",
     "render_artifact",
 ]

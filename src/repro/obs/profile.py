@@ -1,0 +1,116 @@
+"""Opt-in ``cProfile`` capture attached to run artifacts.
+
+``--profile`` on an experiment (or ``repro bench run --profile``) wraps
+the hot section in :func:`profiled`: a ``cProfile`` session whose stats
+are dumped as a ``.pstats`` artifact next to ``events.jsonl``, distilled
+into a top-N self-time table, and — when a recorder is active — emitted
+as a ``{"type": "profile"}`` event so the span tree and the profiler
+view live in the same ``events.jsonl`` (``repro obs summarize`` renders
+the hotspot table under the stage timings).
+
+Zero overhead when off: nothing here is imported or executed unless the
+flag is passed — the hot paths keep their single ``obs.enabled()``
+guard (measured by ``benchmarks/bench_obs.py``).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import os
+import pstats
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.obs import runtime
+from repro.utils.tables import Table
+
+__all__ = ["ProfileSummary", "profiled", "summarize_profile"]
+
+
+@dataclass
+class ProfileSummary:
+    """Top-N hotspots distilled from a profiler session."""
+
+    pstats_path: str
+    total_s: float
+    rows: list[dict] = field(default_factory=list)  # func/calls/self_s/cum_s
+
+    def table(self) -> Table:
+        t = Table(
+            ["function", "calls", "self s", "cum s", "self share"],
+            title=f"profile hotspots (top self-time; {os.path.basename(self.pstats_path)})",
+        )
+        for r in self.rows:
+            share = r["self_s"] / self.total_s if self.total_s else 0.0
+            t.add_row([
+                r["func"], r["calls"], r["self_s"], r["cum_s"],
+                f"{100.0 * share:.1f}%",
+            ])
+        return t
+
+    def render(self) -> str:
+        return self.table().render()
+
+
+def _func_label(key: tuple) -> str:
+    filename, line, name = key
+    if filename == "~":  # builtins
+        return name
+    return f"{os.path.basename(filename)}:{line}({name})"
+
+
+def summarize_profile(
+    profiler: cProfile.Profile, pstats_path: str, *, top_n: int = 20
+) -> ProfileSummary:
+    """Distill *profiler* into a :class:`ProfileSummary` (sorted by self time)."""
+    st = pstats.Stats(profiler)
+    rows = []
+    for key, (_, ncalls, tottime, cumtime, _) in st.stats.items():  # type: ignore[attr-defined]
+        rows.append({
+            "func": _func_label(key),
+            "calls": int(ncalls),
+            "self_s": round(float(tottime), 6),
+            "cum_s": round(float(cumtime), 6),
+        })
+    rows.sort(key=lambda r: -r["self_s"])
+    total = float(getattr(st, "total_tt", 0.0))
+    return ProfileSummary(pstats_path=pstats_path, total_s=total, rows=rows[:top_n])
+
+
+class _ProfiledSection:
+    """Handle yielded by :func:`profiled`; ``summary`` is set on exit."""
+
+    summary: ProfileSummary | None = None
+
+
+@contextmanager
+def profiled(
+    pstats_path: str, *, top_n: int = 20, emit: bool = True
+) -> Iterator[_ProfiledSection]:
+    """Profile the body; dump ``.pstats``, build the top-N summary.
+
+    With *emit* (default) the summary is also recorded on the active
+    :class:`~repro.obs.recorder.RunRecorder` — if one is installed —
+    as a ``{"type": "profile"}`` event, attributing the profiler view
+    to the surrounding span tree in ``events.jsonl``.
+    """
+    section = _ProfiledSection()
+    prof = cProfile.Profile()
+    prof.enable()
+    try:
+        yield section
+    finally:
+        prof.disable()
+        parent = os.path.dirname(pstats_path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        prof.dump_stats(pstats_path)
+        section.summary = summarize_profile(prof, pstats_path, top_n=top_n)
+        if emit:
+            runtime.record_event({
+                "type": "profile",
+                "pstats": os.path.basename(pstats_path),
+                "total_s": round(section.summary.total_s, 6),
+                "top": section.summary.rows,
+            })

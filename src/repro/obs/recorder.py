@@ -23,7 +23,9 @@ from __future__ import annotations
 import json
 import os
 import platform
+import shutil
 import sys
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -33,7 +35,14 @@ from repro.obs import runtime
 from repro.obs.metrics import scoped_registry
 from repro.obs.trace import Tracer, set_tracer
 
-__all__ = ["RunRecorder", "RunArtifact", "observe_run", "load_run", "git_revision"]
+__all__ = [
+    "RunRecorder",
+    "RunArtifact",
+    "observe_run",
+    "load_run",
+    "git_revision",
+    "gc_runs",
+]
 
 #: Per-series cap on persisted samples; overflow is counted, not stored,
 #: so a runaway trajectory cannot blow up the artifact.
@@ -92,15 +101,19 @@ class RunRecorder:
         self._started_perf = time.perf_counter()
         self._file = open(os.path.join(run_dir, "events.jsonl"), "w")
         self._closed = False
+        # Background producers (the bench resource sampler) emit from
+        # their own thread; serialize writes against the main thread.
+        self._write_lock = threading.Lock()
 
     # -- event capture --------------------------------------------------------
 
     def emit(self, event: dict) -> None:
-        """Append one raw event (also the tracer's sink)."""
-        if self._closed:
-            return
-        self.events.append(event)
-        self._file.write(json.dumps(event, separators=(",", ":")) + "\n")
+        """Append one raw event (also the tracer's sink); thread-safe."""
+        with self._write_lock:
+            if self._closed:
+                return
+            self.events.append(event)
+            self._file.write(json.dumps(event, separators=(",", ":")) + "\n")
 
     def record(self, series: str, step: int, value: float) -> None:
         """Record one time-series sample (capped per series, see module doc)."""
@@ -122,10 +135,11 @@ class RunRecorder:
 
     def finish(self, *, status: str = "ok", metrics: dict | None = None) -> None:
         """Flush events and write ``meta.json`` (idempotent)."""
-        if self._closed:
-            return
-        self._closed = True
-        self._file.close()
+        with self._write_lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._file.close()
         meta = {
             "status": status,
             "started_at": time.strftime(
@@ -169,6 +183,8 @@ class RunArtifact:
     run_dir: str
     meta: dict = field(default_factory=dict)
     events: list = field(default_factory=list)
+    #: Lines of events.jsonl that failed to parse (truncated run).
+    corrupt_lines: int = 0
 
     @property
     def spans(self) -> list[dict]:
@@ -189,23 +205,76 @@ class RunArtifact:
 
 
 def load_run(run_dir: str) -> RunArtifact:
-    """Read a run artifact directory written by :class:`RunRecorder`."""
+    """Read a run artifact directory written by :class:`RunRecorder`.
+
+    Tolerates partial artifacts from crashed or killed runs: a corrupt
+    ``meta.json`` or truncated ``events.jsonl`` lines are counted in
+    ``corrupt_lines`` and skipped, never raised — the summarize report
+    degrades to whatever survived.
+    """
     meta_path = os.path.join(run_dir, "meta.json")
     events_path = os.path.join(run_dir, "events.jsonl")
     if not os.path.exists(meta_path) and not os.path.exists(events_path):
         raise FileNotFoundError(f"{run_dir!r} holds no meta.json / events.jsonl")
     meta: dict = {}
+    corrupt = 0
     if os.path.exists(meta_path):
-        with open(meta_path) as f:
-            meta = json.load(f)
+        try:
+            with open(meta_path) as f:
+                meta = json.load(f)
+        except (json.JSONDecodeError, OSError):
+            corrupt += 1
     events: list[dict] = []
     if os.path.exists(events_path):
         with open(events_path) as f:
             for line in f:
                 line = line.strip()
-                if line:
-                    events.append(json.loads(line))
-    return RunArtifact(run_dir=run_dir, meta=meta, events=events)
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except json.JSONDecodeError:
+                    corrupt += 1
+                    continue
+                if isinstance(event, dict):
+                    events.append(event)
+                else:
+                    corrupt += 1
+    return RunArtifact(run_dir=run_dir, meta=meta, events=events, corrupt_lines=corrupt)
+
+
+def gc_runs(
+    runs_dir: str = "runs", *, keep: int = 10, apply: bool = False
+) -> dict[str, Any]:
+    """Prune old run directories under *runs_dir*, newest-*keep* survive.
+
+    Only directories that look like run artifacts (holding a
+    ``meta.json`` or ``events.jsonl``) are candidates — anything else
+    under *runs_dir* is left alone.  Age is directory mtime.  Dry-run
+    unless *apply*; returns ``{"kept": [...], "pruned": [...],
+    "applied": bool}`` with paths sorted newest first.
+    """
+    if keep < 0:
+        raise ValueError(f"keep must be >= 0, got {keep}")
+    candidates: list[tuple[float, str]] = []
+    if os.path.isdir(runs_dir):
+        for name in os.listdir(runs_dir):
+            path = os.path.join(runs_dir, name)
+            if not os.path.isdir(path):
+                continue
+            if not (
+                os.path.exists(os.path.join(path, "meta.json"))
+                or os.path.exists(os.path.join(path, "events.jsonl"))
+            ):
+                continue
+            candidates.append((os.path.getmtime(path), path))
+    candidates.sort(reverse=True)
+    kept = [p for _, p in candidates[:keep]]
+    pruned = [p for _, p in candidates[keep:]]
+    if apply:
+        for path in pruned:
+            shutil.rmtree(path, ignore_errors=True)
+    return {"kept": kept, "pruned": pruned, "applied": apply}
 
 
 @contextmanager

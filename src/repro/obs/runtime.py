@@ -23,6 +23,7 @@ __all__ = [
     "get_recorder",
     "set_recorder",
     "record_sample",
+    "record_event",
 ]
 
 _enabled = False
@@ -67,3 +68,14 @@ def record_sample(series: str, step: int, value: float) -> None:
     """
     if _recorder is not None:
         _recorder.record(series, step, value)
+
+
+def record_event(event: dict) -> None:
+    """Emit one raw event on the active recorder (no-op without one).
+
+    Used by cold-path producers (e.g. :mod:`repro.obs.profile`) that
+    want their output attached to the run artifact's event stream
+    without importing the recorder machinery.
+    """
+    if _recorder is not None:
+        _recorder.emit(event)

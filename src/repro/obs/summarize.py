@@ -9,7 +9,13 @@
 * one ASCII sparkline per recorded time series (max load, TV distance,
   coalescence fraction, …) with its range, reusing
   :func:`repro.utils.ascii_plot.sparkline`;
-* the headline counters from the final metrics snapshot.
+* the headline counters from the final metrics snapshot;
+* a profile-hotspots table when the run was profiled (``--profile``
+  emits ``{"type": "profile"}`` events, see :mod:`repro.obs.profile`).
+
+Partial artifacts (a run killed mid-flight: truncated ``events.jsonl``,
+missing final metrics snapshot, zero spans) render as a partial report
+with a leading warning line instead of raising.
 """
 
 from __future__ import annotations
@@ -69,6 +75,36 @@ def _series_table(artifact: RunArtifact) -> Table | None:
     return t
 
 
+def _profile_table(artifact: RunArtifact) -> Table | None:
+    profiles = [e for e in artifact.events if e.get("type") == "profile"]
+    if not profiles:
+        return None
+    latest = profiles[-1]
+    t = Table(
+        ["function", "calls", "self s", "cum s"],
+        title=f"profile hotspots (top self-time; {latest.get('pstats', '?')})",
+    )
+    for row in latest.get("top", []):
+        t.add_row([row.get("func", "?"), row.get("calls", 0),
+                   row.get("self_s", 0.0), row.get("cum_s", 0.0)])
+    return t
+
+
+def _warnings(artifact: RunArtifact) -> list[str]:
+    warnings = []
+    if artifact.corrupt_lines:
+        warnings.append(
+            f"warning: skipped {artifact.corrupt_lines} corrupt line(s) in "
+            "events.jsonl — the run was likely truncated mid-write"
+        )
+    if "status" not in artifact.meta:
+        warnings.append(
+            "warning: meta.json missing or incomplete (no final metrics "
+            "snapshot) — the run may not have finished; report is partial"
+        )
+    return warnings
+
+
 def render_artifact(artifact: RunArtifact) -> str:
     """Render the full report for an in-memory :class:`RunArtifact`."""
     meta = artifact.meta
@@ -77,6 +113,7 @@ def render_artifact(artifact: RunArtifact) -> str:
                 "started_at", "duration_s", "git_rev", "python", "numpy"):
         if key in meta:
             head.append(f"  {key}: {meta[key]}")
+    head.extend(f"  {w}" for w in _warnings(artifact))
     parts = ["\n".join(head)]
     stage = _stage_table(artifact)
     if stage is not None:
@@ -84,6 +121,9 @@ def render_artifact(artifact: RunArtifact) -> str:
     series = _series_table(artifact)
     if series is not None:
         parts.append(series.render())
+    profile = _profile_table(artifact)
+    if profile is not None:
+        parts.append(profile.render())
     counters = meta.get("metrics", {}).get("counters", {})
     if counters:
         t = Table(["counter", "value"], title="counters")

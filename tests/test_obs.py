@@ -309,3 +309,160 @@ class TestCliObs:
         ) == 0
         assert "[E9]" in capsys.readouterr().out
         assert os.path.exists(os.path.join(run_dir, "meta.json"))
+
+
+class TestGracefulSummarize:
+    """`obs summarize` must degrade, not crash, on damaged artifacts."""
+
+    def test_truncated_events_line(self, tmp_path):
+        run_dir = str(tmp_path / "trunc")
+        with obs.observe_run(run_dir, meta={"experiment_id": "E1"}) as rec:
+            with obs.span("stage"):
+                pass
+            rec.record("load", 0, 3.0)
+        # Simulate a kill mid-write: chop the last event line in half.
+        events = os.path.join(run_dir, "events.jsonl")
+        with open(events) as f:
+            lines = f.readlines()
+        with open(events, "w") as f:
+            f.writelines(lines[:-1])
+            f.write(lines[-1][: len(lines[-1]) // 2])
+        art = obs.load_run(run_dir)
+        assert art.corrupt_lines == 1
+        out = obs.summarize_run(run_dir)
+        assert "warning: skipped 1 corrupt line(s)" in out
+        assert "stage" in out  # intact prefix still reported
+
+    def test_empty_events_missing_meta(self, tmp_path):
+        run_dir = str(tmp_path / "empty")
+        os.makedirs(run_dir)
+        open(os.path.join(run_dir, "events.jsonl"), "w").close()
+        out = obs.summarize_run(run_dir)
+        assert "warning: meta.json missing or incomplete" in out
+        assert "no spans" in out
+
+    def test_cli_summarize_damaged_exits_zero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        run_dir = str(tmp_path / "dmg")
+        os.makedirs(run_dir)
+        with open(os.path.join(run_dir, "events.jsonl"), "w") as f:
+            f.write('{"type": "span", "name": "s", "dur_s": 0.1}\n')
+            f.write('{"type": "span", "name": "t", "dur')
+        assert main(["obs", "summarize", run_dir]) == 0
+        out = capsys.readouterr().out
+        assert "warning" in out and "s" in out
+
+
+class TestGcRuns:
+    def _make_run(self, runs_dir, name, mtime):
+        d = os.path.join(runs_dir, name)
+        obs.RunRecorder(d).finish()
+        os.utime(d, (mtime, mtime))
+        return d
+
+    def test_dry_run_keeps_everything(self, tmp_path):
+        runs_dir = str(tmp_path / "runs")
+        for i in range(4):
+            self._make_run(runs_dir, f"r{i}", 1_000_000 + i)
+        result = obs.gc_runs(runs_dir, keep=2)
+        assert result["applied"] is False
+        assert [os.path.basename(p) for p in result["pruned"]] == ["r1", "r0"]
+        assert sorted(os.listdir(runs_dir)) == ["r0", "r1", "r2", "r3"]
+
+    def test_apply_prunes_oldest(self, tmp_path):
+        runs_dir = str(tmp_path / "runs")
+        for i in range(4):
+            self._make_run(runs_dir, f"r{i}", 1_000_000 + i)
+        result = obs.gc_runs(runs_dir, keep=2, apply=True)
+        assert result["applied"] is True
+        assert sorted(os.listdir(runs_dir)) == ["r2", "r3"]
+
+    def test_non_artifact_dirs_untouched(self, tmp_path):
+        runs_dir = str(tmp_path / "runs")
+        self._make_run(runs_dir, "real", 1_000_000)
+        stray = os.path.join(runs_dir, "not-a-run")
+        os.makedirs(stray)
+        with open(os.path.join(stray, "notes.txt"), "w") as f:
+            f.write("keep me")
+        result = obs.gc_runs(runs_dir, keep=0, apply=True)
+        assert [os.path.basename(p) for p in result["pruned"]] == ["real"]
+        assert os.path.exists(stray)
+
+    def test_missing_dir_is_empty(self, tmp_path):
+        result = obs.gc_runs(str(tmp_path / "nope"), keep=3)
+        assert result == {"kept": [], "pruned": [], "applied": False}
+
+    def test_negative_keep_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            obs.gc_runs(str(tmp_path), keep=-1)
+
+    def test_cli_gc(self, tmp_path, capsys):
+        from repro.cli import main
+
+        runs_dir = str(tmp_path / "runs")
+        for i in range(3):
+            self._make_run(runs_dir, f"r{i}", 1_000_000 + i)
+        assert main(["obs", "gc", "--keep", "1", "--runs-dir", runs_dir]) == 0
+        out = capsys.readouterr().out
+        assert "dry run" in out and "would remove" in out
+        assert sorted(os.listdir(runs_dir)) == ["r0", "r1", "r2"]
+        assert main([
+            "obs", "gc", "--keep", "1", "--runs-dir", runs_dir, "--apply"
+        ]) == 0
+        assert os.listdir(runs_dir) == ["r2"]
+
+
+class TestProfiling:
+    def test_profiled_writes_pstats_and_emits(self, tmp_path):
+        from repro.obs.profile import profiled
+
+        run_dir = str(tmp_path / "prof-run")
+        pstats_path = str(tmp_path / "out.pstats")
+        with obs.observe_run(run_dir):
+            with profiled(pstats_path) as prof:
+                sum(i * i for i in range(20_000))
+        assert os.path.exists(pstats_path)
+        assert prof.summary is not None and prof.summary.rows
+        assert prof.summary.total_s >= 0
+        art = obs.load_run(run_dir)
+        profile_events = [e for e in art.events if e.get("type") == "profile"]
+        assert len(profile_events) == 1
+        assert profile_events[0]["pstats"] == "out.pstats"
+
+    def test_profiled_no_recorder_still_works(self, tmp_path):
+        from repro.obs.profile import profiled
+
+        pstats_path = str(tmp_path / "solo.pstats")
+        with profiled(pstats_path, emit=False) as prof:
+            sorted(range(1000), reverse=True)
+        assert os.path.exists(pstats_path)
+        assert prof.summary.rows
+
+    def test_run_observed_profile(self, tmp_path):
+        from repro.experiments.base import run_observed
+        from repro.experiments.registry import get_experiment
+
+        run_dir = str(tmp_path / "e9-prof")
+        result = run_observed(
+            get_experiment("E9"), scale="smoke", seed=0,
+            metrics_out=run_dir, profile=True,
+        )
+        assert os.path.exists(os.path.join(run_dir, "profile.pstats"))
+        assert os.path.exists(os.path.join(run_dir, "profile_top.txt"))
+        prof = result.telemetry["profile"]
+        assert prof["top"] and prof["total_s"] > 0
+        assert "profile" in result.render()
+        # The hotspot table surfaces in the summarize report.
+        out = obs.summarize_run(run_dir)
+        assert "profile hotspots" in out
+
+    def test_cli_experiment_profile(self, tmp_path, capsys):
+        from repro.cli import main
+
+        run_dir = str(tmp_path / "e9-cli-prof")
+        assert main([
+            "experiment", "e9", "--profile", "--metrics-out", run_dir
+        ]) == 0
+        capsys.readouterr()
+        assert os.path.exists(os.path.join(run_dir, "profile.pstats"))
