@@ -6,7 +6,7 @@ PY ?= python
 PYPATH = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: install test test-fast bench bench-quick bench-diff bench-pytest \
-	examples report report-paper verify all
+	engines-check examples report report-paper verify all
 
 install:
 	$(PY) setup.py develop
@@ -31,6 +31,12 @@ bench-diff:
 
 bench-pytest:
 	$(PYPATH) $(PY) -m pytest benchmarks/ --benchmark-only
+
+# Cross-engine validation: the parity suite plus the support matrix
+# (same gate as the CI engine-parity job; see docs/ENGINES.md).
+engines-check:
+	$(PYPATH) $(PY) -m pytest tests/test_engine_parity.py -q
+	$(PYPATH) $(PY) -m repro engines
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; $(PYPATH) $(PY) $$f; echo; done

@@ -55,6 +55,12 @@ from repro.coupling import (
     theorem2_bound,
 )
 from repro.edgeorient import CarpoolSimulator, EdgeOrientationProcess
+from repro.engine import (
+    ExactEngine,
+    ProcessSpec,
+    ScalarEngine,
+    VectorizedEngine,
+)
 from repro.experiments import run_all, run_experiment
 
 __version__ = "1.0.0"
@@ -64,7 +70,11 @@ __all__ = [
     "AdaptiveRule",
     "CarpoolSimulator",
     "EdgeOrientationProcess",
+    "ExactEngine",
     "LoadVector",
+    "ProcessSpec",
+    "ScalarEngine",
+    "VectorizedEngine",
     "OpenSystemProcess",
     "RecoveryBounds",
     "RelocationProcess",

@@ -36,6 +36,7 @@ def recovery_times_balls(
     start: LoadVector | None = None,
     replicas: int = 20,
     max_steps: int = 10_000_000,
+    engine: str = "scalar",
     seed: SeedLike = None,
 ) -> np.ndarray:
     """Steps from the crash state until max load ≤ *target_max_load*.
@@ -43,9 +44,25 @@ def recovery_times_balls(
     Default crash state: all m balls in one bin.  Returns one time per
     replica (−1 where the cap was hit — should not happen with sane
     caps; the caller should treat those as failures).
+
+    ``engine`` picks the execution path: ``'scalar'`` loops replicas on
+    the O(log n) reference simulator (independent per-replica streams);
+    ``'vectorized'`` advances all replicas as one (R, n) matrix — the
+    same hitting-time law, measured much faster for large R (requires
+    an inverse-transform rule; experiments select this by scale via
+    :func:`repro.experiments.base.select_engine`).
     """
     if start is None:
         start = LoadVector.all_in_one(m, n)
+    if engine == "vectorized":
+        from repro.engine.spec import scenario_a_spec, scenario_b_spec
+        from repro.engine.vectorized import VectorizedEngine
+
+        builder = scenario_a_spec if scenario == "a" else scenario_b_spec
+        bp = VectorizedEngine.make(builder(rule), start, replicas, seed=seed)
+        return bp.recovery_times(target_max_load, max_steps)
+    if engine != "scalar":
+        raise ValueError(f"engine must be 'scalar' or 'vectorized', got {engine!r}")
     times = np.empty(replicas, dtype=np.int64)
     make: Callable[..., DynamicAllocationProcess]
     make = ScenarioAProcess if scenario == "a" else ScenarioBProcess

@@ -48,7 +48,6 @@ from repro.balls.scenario_b import ScenarioBProcess
 from repro.balls.static import static_allocate, static_max_load
 from repro.balls.open_system import OpenSystemProcess
 from repro.balls.relocation import RelocationProcess
-from repro.balls.batch import BatchProcess
 from repro.balls.majorization import bottom_state, check_monotone_phase, majorizes, top_state
 from repro.balls.custom_removal import (
     CustomRemovalProcess,
@@ -56,6 +55,16 @@ from repro.balls.custom_removal import (
     weight_scenario_a,
     weight_scenario_b,
 )
+
+def __getattr__(name: str):
+    # PEP 562 lazy re-export: importing the deprecated shim eagerly
+    # would fire its DeprecationWarning on every `import repro`.
+    if name == "BatchProcess":
+        from repro.balls.batch import BatchProcess
+
+        return BatchProcess
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "ABKURule",

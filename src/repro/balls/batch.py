@@ -1,43 +1,44 @@
-"""Vectorized multi-replica simulators.
+"""Deprecated shim: the vectorized simulator moved to :mod:`repro.engine`.
 
-The scaling experiments run many independent replicas of the same
-process.  Rather than looping replicas in Python, these simulators keep
-an (R, n) matrix of normalized load rows and advance *all* replicas per
-step with whole-array NumPy operations — the "vectorize the loop over
-replicas" idiom of the HPC guides.  Per step the work is O(R·n) in
-fast vectorized passes, which beats R separate O(log n) Python-level
-steps by a wide margin for the R ~ 10²–10⁴ used in experiments.
-
-The Fact 3.2 updates vectorize through counting comparisons: in a
-descending row, the *first* index of the value-v run is ``#{entries >
-v}`` and the *last* is ``#{entries ≥ v} − 1``.
-
-Cross-validated against the scalar simulators in the tests (same law;
-and literally identical trajectories for R = 1 is *not* required —
-they consume randomness differently — so the checks are distributional).
+:class:`BatchProcess` was the original ABKU-only, scenario-A/B batch
+stepper.  The generalized (R, n) whole-array engine now lives in
+:mod:`repro.engine.vectorized` and runs *every* spec with an
+inverse-transform insertion law — scenario B, the §7 open system,
+relocation, and weighted w(ℓ) removal included.  This module keeps the
+old constructor signature alive as a thin subclass; new code should
+build a :class:`~repro.engine.spec.ProcessSpec` and call
+``VectorizedEngine.make(spec, start, replicas)``.
 """
 
 from __future__ import annotations
 
+import warnings
+
 from typing import Literal
 
-import numpy as np
-
-from repro import obs
 from repro.balls.load_vector import LoadVector
 from repro.balls.rules import ABKURule
-from repro.utils.rng import SeedLike, as_generator
-from repro.utils.validation import check_positive_int
+from repro.engine.spec import scenario_a_spec, scenario_b_spec
+from repro.engine.vectorized import VectorizedProcess
+from repro.utils.rng import SeedLike
 
 __all__ = ["BatchProcess"]
 
+warnings.warn(
+    "repro.balls.batch is deprecated; use repro.engine "
+    "(ProcessSpec + VectorizedEngine) instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
-class BatchProcess:
+
+class BatchProcess(VectorizedProcess):
     """R independent replicas of I_A or I_B with an ABKU[d] rule.
 
-    Only ABKU[d] is supported in batch mode (its insertion index is an
-    inverse-transform draw, independent of the loads); ADAP(χ) needs
-    the sequential sampling loop and stays on the scalar path.
+    Deprecated alias for the vectorized engine restricted to the
+    original scenario-A/B surface.  ADAP(χ) needs the sequential
+    sampling loop and stays on the scalar path — matching the historic
+    "ABKU[d] only in batch mode" contract.
     """
 
     def __init__(
@@ -53,147 +54,9 @@ class BatchProcess:
             raise TypeError("BatchProcess supports ABKU[d] rules only")
         if scenario not in ("a", "b"):
             raise ValueError(f"scenario must be 'a' or 'b', got {scenario!r}")
-        replicas = check_positive_int("replicas", replicas)
-        self.rule = rule
+        spec = scenario_a_spec(rule) if scenario == "a" else scenario_b_spec(rule)
+        super().__init__(spec, start, replicas, seed=seed)
         self.scenario = scenario
-        self._rng = as_generator(seed)
-        self._V = np.tile(start.loads, (replicas, 1)).astype(np.int64)
-        self._m = int(start.m)
-        if self._m < 1:
-            raise ValueError("need at least one ball")
-        self._R = replicas
-        self._n = start.n
-        self._rows = np.arange(replicas)
-        self._t = 0
-
-    # -- state access ---------------------------------------------------------
-
-    @property
-    def replicas(self) -> int:
-        """Number of replicas R."""
-        return self._R
-
-    @property
-    def n(self) -> int:
-        """Bins per replica."""
-        return self._n
-
-    @property
-    def m(self) -> int:
-        """Balls per replica (constant)."""
-        return self._m
-
-    @property
-    def t(self) -> int:
-        """Phases executed."""
-        return self._t
-
-    @property
-    def loads(self) -> np.ndarray:
-        """The live (R, n) descending load matrix (read-only use)."""
-        return self._V
-
-    def max_loads(self) -> np.ndarray:
-        """Per-replica max load (column 0)."""
-        return self._V[:, 0].copy()
-
-    def tail(self, levels: int) -> np.ndarray:
-        """Mean tail profile s_i (i = 0..levels) pooled over replicas."""
-        out = np.empty(levels + 1)
-        for i in range(levels + 1):
-            out[i] = float((self._V >= i).mean())
-        return out
-
-    # -- stepping ---------------------------------------------------------------
-
-    def _first_of_run(self, vals: np.ndarray) -> np.ndarray:
-        """Per-row first index of each row's value-run (vectorized Fact 3.2)."""
-        return (self._V > vals[:, None]).sum(axis=1)
-
-    def _last_of_run(self, vals: np.ndarray) -> np.ndarray:
-        """Per-row last index of each row's value-run."""
-        return (self._V >= vals[:, None]).sum(axis=1) - 1
-
-    def step(self) -> None:
-        """Advance every replica by one phase."""
-        rng = self._rng
-        V = self._V
-        rows = self._rows
-        # --- removal ---
-        if self.scenario == "a":
-            targets = rng.integers(0, self._m, size=self._R)
-            csum = np.cumsum(V, axis=1)
-            rm_idx = (csum <= targets[:, None]).sum(axis=1)
-        else:
-            s = (V > 0).sum(axis=1)
-            rm_idx = (rng.random(self._R) * s).astype(np.int64)
-        rm_vals = V[rows, rm_idx]
-        pos = self._last_of_run(rm_vals)
-        V[rows, pos] -= 1
-        # --- insertion (ABKU[d] inverse transform) ---
-        u = rng.random(self._R)
-        ins_idx = np.minimum(
-            (self._n * u ** (1.0 / self.rule.d)).astype(np.int64), self._n - 1
-        )
-        ins_vals = V[rows, ins_idx]
-        pos = self._first_of_run(ins_vals)
-        V[rows, pos] += 1
-        self._t += 1
-
-    def _obs_account(self, steps: int) -> None:
-        """Bulk-count *steps* fleet phases (only called when obs is enabled)."""
-        reg = obs.metrics()
-        reg.counter("batch.steps").inc(steps)
-        reg.counter("batch.replica_phases").inc(steps * self._R)
-
-    def run(self, steps: int) -> "BatchProcess":
-        """Advance all replicas *steps* phases; returns self."""
-        if steps < 0:
-            raise ValueError(f"steps must be >= 0, got {steps}")
-        if not obs.enabled():
-            for _ in range(steps):
-                self.step()
-            return self
-        with obs.span("batch/run", steps=steps, replicas=self._R,
-                      scenario=self.scenario):
-            for _ in range(steps):
-                self.step()
-        self._obs_account(steps)
-        return self
-
-    def recovery_times(self, target_max_load: int, max_steps: int) -> np.ndarray:
-        """Per-replica first time max load ≤ target (−1 where cap hit).
-
-        Replicas that have recovered keep running (the matrix advances
-        as a whole); only their hitting times are frozen.  Under
-        observability, the recovered fraction and fleet-mean max load
-        are recorded at power-of-two checkpoints (series
-        ``batch/recovered_fraction``, ``batch/max_load_mean``).
-        """
-        observing = obs.enabled()
-        times = np.full(self._R, -1, dtype=np.int64)
-        done = self._V[:, 0] <= target_max_load
-        times[done] = 0
-        executed = 0
-        for k in range(1, max_steps + 1):
-            if done.all():
-                break
-            self.step()
-            executed = k
-            newly = (~done) & (self._V[:, 0] <= target_max_load)
-            times[newly] = k
-            done |= newly
-            if observing and (k & (k - 1)) == 0:
-                obs.record_sample("batch/recovered_fraction", k, float(done.mean()))
-                obs.record_sample(
-                    "batch/max_load_mean", k, float(self._V[:, 0].mean())
-                )
-        if observing:
-            self._obs_account(executed)
-            obs.record_sample(
-                "batch/recovered_fraction", executed, float(done.mean())
-            )
-        return times
 
     def __repr__(self) -> str:
         return (

@@ -13,9 +13,11 @@ law given by a *weight function* w(load) ≥ 0, removing from
   rule instead of against it);
 * w(ℓ) = 1[ℓ = max]  → always unload a fullest bin (the greedy repair).
 
-The process, its exact kernel (for the E15 tables), and the quantile
-coupling used by the shared-randomness coalescence all key off the same
-weight function.
+The weight function becomes a :class:`repro.engine.spec.WeightedRemoval`
+law inside a :func:`repro.engine.spec.custom_removal_spec`, so the
+process, its exact kernel (for the E15 tables), the vectorized batch
+stepper, and the quantile coupling used by the shared-randomness
+coalescence all key off the same declaration.
 """
 
 from __future__ import annotations
@@ -24,12 +26,11 @@ from typing import Callable, Union
 
 import numpy as np
 
-from repro.balls.load_vector import LoadVector, ominus, oplus
-from repro.balls.process import DynamicAllocationProcess
+from repro.balls.load_vector import LoadVector
 from repro.balls.rules import SchedulingRule
+from repro.engine.scalar import SpecProcess
 from repro.markov.chain import FiniteMarkovChain
-from repro.utils.partitions import all_partitions
-from repro.utils.rng import SeedLike, as_generator
+from repro.utils.rng import SeedLike
 
 __all__ = [
     "WeightFn",
@@ -96,7 +97,13 @@ def removal_pmf_from_weights(v: np.ndarray, weight: WeightFn) -> np.ndarray:
     return w / total
 
 
-class CustomRemovalProcess(DynamicAllocationProcess):
+def _spec(rule: SchedulingRule, weight: WeightFn):
+    from repro.engine.spec import custom_removal_spec
+
+    return custom_removal_spec(rule, weight)
+
+
+class CustomRemovalProcess(SpecProcess):
     """Remove-by-weight, place-by-rule dynamic process."""
 
     def __init__(
@@ -107,19 +114,8 @@ class CustomRemovalProcess(DynamicAllocationProcess):
         *,
         seed: SeedLike = None,
     ):
-        super().__init__(state, seed=seed)
-        self.rule = rule
+        super().__init__(_spec(rule, weight), state, seed=seed)
         self.weight = weight
-
-    def step(self) -> None:
-        rng = self._rng
-        pmf = removal_pmf_from_weights(self._v, self.weight)
-        i = int(np.searchsorted(np.cumsum(pmf), rng.random(), side="right"))
-        i = min(i, self.n - 1)
-        self._decrement_at(i)
-        j = self.rule.select(self._v, rng)
-        self._increment_at(j)
-        self._t += 1
 
 
 def custom_removal_kernel(
@@ -129,23 +125,9 @@ def custom_removal_kernel(
     m: int,
 ) -> FiniteMarkovChain:
     """Exact kernel of the custom-removal process on Ω_m."""
-    states = all_partitions(m, n)
-    index = {s: k for k, s in enumerate(states)}
-    P = np.zeros((len(states), len(states)))
-    for k, s in enumerate(states):
-        v = np.array(s, dtype=np.int64)
-        pmf = removal_pmf_from_weights(v, weight)
-        for i in range(n):
-            if pmf[i] <= 0:
-                continue
-            vstar = ominus(v, i)
-            q = rule.insertion_distribution(vstar)
-            for j in range(n):
-                if q[j] <= 0:
-                    continue
-                v0 = oplus(vstar, j)
-                P[k, index[tuple(int(x) for x in v0)]] += pmf[i] * q[j]
-    return FiniteMarkovChain(states, P)
+    from repro.engine.exact import ExactEngine
+
+    return ExactEngine.kernel(_spec(rule, weight), n, m)
 
 
 def coalescence_time_custom(
@@ -161,27 +143,11 @@ def coalescence_time_custom(
 
     Removal is quantile-coupled through the weight-induced CDFs (both
     chains invert at the same uniform), insertion is the Lemma 3.3
-    coupling — the same grand-coupling construction as scenarios A/B.
+    coupling — the same grand-coupling construction as scenarios A/B,
+    routed through :func:`repro.coupling.grand.coalescence_time_spec`.
     """
-    rng = as_generator(seed)
-    v = (start_v.loads if isinstance(start_v, LoadVector) else LoadVector(start_v).loads).copy()
-    u = (start_u.loads if isinstance(start_u, LoadVector) else LoadVector(start_u).loads).copy()
-    if v.shape != u.shape or int(v.sum()) != int(u.sum()):
-        raise ValueError("states must have equal size and ball count")
-    n = v.shape[0]
-    if np.array_equal(v, u):
-        return 0
-    for step in range(1, max_steps + 1):
-        q = float(rng.random())
-        for arr in (v, u):
-            pmf = removal_pmf_from_weights(arr, weight)
-            i = int(np.searchsorted(np.cumsum(pmf), q, side="right"))
-            i = min(i, n - 1)
-            arr[:] = ominus(arr, i)
-        length = max(rule.source_length(v), rule.source_length(u))
-        rs = rng.integers(0, n, size=length)
-        v = oplus(v, rule.select_from_source(v, rs))
-        u = oplus(u, rule.select_from_source(u, rule.phi(rs)))
-        if np.array_equal(v, u):
-            return step
-    return -1
+    from repro.coupling.grand import coalescence_time_spec
+
+    return coalescence_time_spec(
+        _spec(rule, weight), start_v, start_u, max_steps=max_steps, seed=seed
+    )

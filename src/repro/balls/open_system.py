@@ -12,7 +12,10 @@ balls.  Experiment E10 measures exactly that coalescence under the
 shared-randomness coupling (same insert/remove coin, coupled removal
 uniform, shared rule source).
 
-Two removal flavours are supported, mirroring scenarios A and B.
+Two removal flavours are supported, mirroring scenarios A and B; the
+process is a :func:`repro.engine.spec.open_spec` executed by the scalar
+engine's :class:`~repro.engine.scalar.OpenSpecProcess` (the vectorized
+and exact engines run the same spec batched / as a dense kernel).
 """
 
 from __future__ import annotations
@@ -21,9 +24,10 @@ from typing import Literal, Union
 
 import numpy as np
 
-from repro.balls.distributions import quantile_removal_a, quantile_removal_b
-from repro.balls.load_vector import LoadVector, ominus_index, oplus_index
+from repro.balls.load_vector import LoadVector
 from repro.balls.rules import SchedulingRule
+from repro.engine.scalar import OpenSpecProcess
+from repro.engine.spec import open_spec
 from repro.utils.rng import SeedLike, as_generator
 
 __all__ = ["OpenSystemProcess", "coupled_open_coalescence"]
@@ -31,7 +35,7 @@ __all__ = ["OpenSystemProcess", "coupled_open_coalescence"]
 RemovalKind = Literal["ball", "bin"]
 
 
-class OpenSystemProcess:
+class OpenSystemProcess(OpenSpecProcess):
     """The §7 open process: ½ remove / ½ insert each step.
 
     ``removal='ball'`` removes a uniform ball (scenario-A flavour);
@@ -49,81 +53,9 @@ class OpenSystemProcess:
         max_balls: int | None = None,
         seed: SeedLike = None,
     ):
-        if isinstance(state, LoadVector):
-            v = state.loads.copy()
-        else:
-            v = LoadVector(state).loads.copy()
-        if removal not in ("ball", "bin"):
-            raise ValueError(f"removal must be 'ball' or 'bin', got {removal!r}")
-        self._v = v
-        self.rule = rule
+        spec = open_spec(rule, removal=removal, max_balls=max_balls)
+        super().__init__(spec, state, seed=seed)
         self.removal: RemovalKind = removal
-        self.max_balls = max_balls
-        self._rng = as_generator(seed)
-        self._t = 0
-
-    @property
-    def n(self) -> int:
-        """Number of bins."""
-        return int(self._v.shape[0])
-
-    @property
-    def m(self) -> int:
-        """Current (varying) number of balls."""
-        return int(self._v.sum())
-
-    @property
-    def t(self) -> int:
-        """Steps executed."""
-        return self._t
-
-    @property
-    def state(self) -> LoadVector:
-        """Defensive snapshot of the normalized state."""
-        return LoadVector(self._v.copy(), normalize=False)
-
-    @property
-    def loads(self) -> np.ndarray:
-        """Live descending load array (read-only use)."""
-        return self._v
-
-    def step(self) -> None:
-        """One open-system step: fair coin → remove or insert."""
-        rng = self._rng
-        if rng.random() < 0.5:
-            self._remove(float(rng.random()))
-        else:
-            self._insert(rng)
-        self._t += 1
-
-    def step_with(self, coin: bool, u_remove: float, rng: np.random.Generator) -> None:
-        """Externally driven step, for coupling two copies on shared randomness."""
-        if coin:
-            self._remove(u_remove)
-        else:
-            self._insert(rng)
-        self._t += 1
-
-    def _remove(self, u: float) -> None:
-        if self._v.sum() == 0:
-            return  # nothing to remove: no-op, as in the paper's example
-        if self.removal == "ball":
-            i = quantile_removal_a(self._v, u)
-        else:
-            i = quantile_removal_b(self._v, u)
-        self._v[ominus_index(self._v, i)] -= 1
-
-    def _insert(self, rng: np.random.Generator) -> None:
-        if self.max_balls is not None and self._v.sum() >= self.max_balls:
-            return  # bounded-population variant (§7 first class)
-        j = self.rule.select(self._v, rng)
-        self._v[oplus_index(self._v, j)] += 1
-
-    def run(self, steps: int) -> "OpenSystemProcess":
-        """Execute *steps* steps; returns self."""
-        for _ in range(steps):
-            self.step()
-        return self
 
     def __repr__(self) -> str:
         return (
@@ -148,28 +80,17 @@ def coupled_open_coalescence(
     identity Φ of Lemma 3.4 — realized by a shared generator consumed in
     lockstep via explicit sources).  Returns the first step at which the
     load vectors coincide, or -1 if not within *max_steps*.
+
+    Delegates to :func:`repro.coupling.grand.coalescence_time_spec`,
+    the spec-generic grand coupling.
     """
+    from repro.coupling.grand import coalescence_time_spec
+
     rng = as_generator(seed)
-    px = OpenSystemProcess(rule, start_x, removal=removal)
-    py = OpenSystemProcess(rule, start_y, removal=removal)
-    if np.array_equal(px.loads, py.loads):
-        return 0
-    n = px.n
-    for step in range(1, max_steps + 1):
-        coin = bool(rng.random() < 0.5)
-        u = float(rng.random())
-        if coin:
-            px._remove(u)
-            py._remove(u)
-        else:
-            length = max(
-                rule.source_length(px.loads), rule.source_length(py.loads)
-            )
-            rs = rng.integers(0, n, size=length)
-            jx = rule.select_from_source(px.loads, rs)
-            jy = rule.select_from_source(py.loads, rule.phi(rs))
-            px._v[oplus_index(px._v, jx)] += 1
-            py._v[oplus_index(py._v, jy)] += 1
-        if np.array_equal(px.loads, py.loads):
-            return step
-    return -1
+    return coalescence_time_spec(
+        open_spec(rule, removal=removal),
+        start_x,
+        start_y,
+        max_steps=max_steps,
+        seed=rng,
+    )

@@ -8,6 +8,11 @@ moves one ball from the fullest bin to the rule-selected bin (if that
 strictly improves balance).  ``p_relocate = 0`` recovers the base
 process exactly; increasing it shows how even a little relocation
 shortens recovery (experiment E14).
+
+The process is a :func:`repro.engine.spec.relocation_spec`; the
+relocation move itself lives in the engines, so the vectorized and
+exact engines handle it too (batched masked updates / a conditional
+kernel mixture).
 """
 
 from __future__ import annotations
@@ -17,15 +22,15 @@ from typing import Literal, Union
 import numpy as np
 
 from repro.balls.load_vector import LoadVector
-from repro.balls.process import DynamicAllocationProcess
 from repro.balls.rules import SchedulingRule
+from repro.engine.scalar import SpecProcess
+from repro.engine.spec import relocation_spec
 from repro.utils.rng import SeedLike
-from repro.utils.validation import check_probability
 
 __all__ = ["RelocationProcess"]
 
 
-class RelocationProcess(DynamicAllocationProcess):
+class RelocationProcess(SpecProcess):
     """Remove-then-place with an optional one-ball relocation per phase.
 
     ``scenario`` selects the removal model ('a' = uniform ball,
@@ -45,36 +50,7 @@ class RelocationProcess(DynamicAllocationProcess):
         p_relocate: float = 0.5,
         seed: SeedLike = None,
     ):
-        super().__init__(state, seed=seed)
-        if scenario not in ("a", "b"):
-            raise ValueError(f"scenario must be 'a' or 'b', got {scenario!r}")
-        self.rule = rule
+        spec = relocation_spec(rule, scenario=scenario, p_relocate=p_relocate)
+        super().__init__(spec, state, seed=seed)
         self.scenario = scenario
-        self.p_relocate = check_probability("p_relocate", p_relocate)
-        self._m = int(self._v.sum())
-        self.relocations = 0
-
-    def step(self) -> None:
-        rng = self._rng
-        v = self._v
-        # Remove.
-        if self.scenario == "a":
-            from repro.balls.distributions import quantile_removal_a
-
-            i = quantile_removal_a(v, float(rng.random()))
-        else:
-            from repro.balls.distributions import quantile_removal_b
-
-            i = quantile_removal_b(v, float(rng.random()))
-        self._decrement_at(i)
-        # Place.
-        j = self.rule.select(v, rng)
-        self._increment_at(j)
-        # Optional relocation: fullest bin → rule-selected target.
-        if self.p_relocate > 0 and rng.random() < self.p_relocate:
-            target = self.rule.select(v, rng)
-            if v[0] - v[target] >= 2:
-                self._decrement_at(0)
-                self._increment_at(target)
-                self.relocations += 1
-        self._t += 1
+        self.p_relocate = spec.p_relocate

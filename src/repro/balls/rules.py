@@ -123,6 +123,14 @@ class SchedulingRule(ABC):
 
     name: str = "rule"
 
+    #: Vectorized inverse-transform insertion hook.  Rules whose
+    #: insertion index is a single load-independent inverse-CDF draw
+    #: (ABKU[d]) override this with a ``(n, u) -> indices`` method; the
+    #: ``None`` default marks rules that need sequential sampling
+    #: (ADAP(χ)) and keeps them off the vectorized engine — see
+    #: :meth:`repro.engine.vectorized.VectorizedEngine.supports`.
+    insertion_quantile_batch: Callable[[int, np.ndarray], np.ndarray] | None = None
+
     @abstractmethod
     def source_length(self, v: np.ndarray) -> int:
         """Number of source samples sufficient to evaluate D̄(v, ·)."""
@@ -196,6 +204,14 @@ class ABKURule(SchedulingRule):
         n = v.shape[0]
         j = int(n * float(rng.random()) ** (1.0 / self.d))
         return min(j, n - 1)
+
+    def insertion_quantile_batch(self, n: int, u: np.ndarray) -> np.ndarray:
+        """Vectorized inverse-transform insertion: ⌊n·u^{1/d}⌋, clipped.
+
+        Load-independent — the property that makes ABKU[d] specs
+        eligible for the vectorized engine.
+        """
+        return np.minimum((n * u ** (1.0 / self.d)).astype(np.int64), n - 1)
 
     def __repr__(self) -> str:
         return f"ABKURule(d={self.d})"

@@ -11,9 +11,10 @@ One phase of the process I_A:
 Theorem 1 of the paper: for any right-oriented rule the mixing /
 recovery time is τ(ε) = ⌈m·ln(m/ε)⌉.
 
-The simulator keeps a Fenwick tree over the loads so the 𝒜(v) draw and
-both Fact 3.2 updates are O(log n) per phase — this is the hot loop of
-experiments E1/E2/E7.
+The process is declared as a :func:`repro.engine.spec.scenario_a_spec`
+and executed by the scalar engine, which keeps a Fenwick tree over the
+loads so the 𝒜(v) draw and both Fact 3.2 updates are O(log n) per
+phase — this is the hot loop of experiments E1/E2/E7.
 """
 
 from __future__ import annotations
@@ -23,24 +24,22 @@ from typing import Union
 import numpy as np
 
 from repro.balls.load_vector import LoadVector
-from repro.balls.process import DynamicAllocationProcess
 from repro.balls.rules import SchedulingRule
-from repro.utils.fenwick import FenwickTree
+from repro.engine.scalar import SpecProcess
+from repro.engine.spec import scenario_a_spec
 from repro.utils.rng import SeedLike
 
 __all__ = ["ScenarioAProcess", "scenario_a_transition"]
 
 
-class ScenarioAProcess(DynamicAllocationProcess):
+class ScenarioAProcess(SpecProcess):
     """Stateful simulator of I_A with an arbitrary scheduling rule.
 
+    A thin wrapper constructing the I_A spec for the scalar engine.
     Observability: phases, RNG draws, Fact 3.2 and Fenwick update
     counts appear under the ``scenario_a.*`` metrics when
     :mod:`repro.obs` is enabled (accounted in bulk per ``run()``).
     """
-
-    _obs_name = "scenario_a"
-    _obs_rng_per_phase = 2  # one Fenwick removal draw + one rule draw
 
     def __init__(
         self,
@@ -49,30 +48,7 @@ class ScenarioAProcess(DynamicAllocationProcess):
         *,
         seed: SeedLike = None,
     ):
-        super().__init__(state, seed=seed)
-        self.rule = rule
-        self._fenwick = FenwickTree(self._v)
-        self._m = int(self._v.sum())
-
-    def _obs_account(self, steps: int) -> None:
-        super()._obs_account(steps)
-        # Each phase touches the Fenwick tree three times: one find()
-        # plus the two ±1 updates mirroring the Fact 3.2 edits.
-        from repro import obs
-
-        obs.metrics().counter("scenario_a.fenwick_ops").inc(3 * steps)
-
-    def step(self) -> None:
-        rng = self._rng
-        # Remove: bin ~ A(v), i.e. inverse-CDF of loads at a uniform ball.
-        i = self._fenwick.find(int(rng.integers(0, self._m)))
-        s = self._decrement_at(i)
-        self._fenwick.add(s, -1)
-        # Place: rule-selected index on the intermediate state v*.
-        j = self.rule.select(self._v, rng)
-        jj = self._increment_at(j)
-        self._fenwick.add(jj, +1)
-        self._t += 1
+        super().__init__(scenario_a_spec(rule), state, seed=seed)
 
 
 def scenario_a_transition(

@@ -13,8 +13,9 @@ lower bounds.  The paper stresses this removal model is *harder to
 analyze* than scenario A — empirically visible in E3 as slower
 coalescence.
 
-The simulator tracks s (the nonempty count) incrementally so each phase
-is O(log n).
+The process is declared as a :func:`repro.engine.spec.scenario_b_spec`
+and executed by the scalar engine, which tracks s (the nonempty count)
+incrementally so each phase is O(log n).
 """
 
 from __future__ import annotations
@@ -24,23 +25,22 @@ from typing import Union
 import numpy as np
 
 from repro.balls.load_vector import LoadVector
-from repro.balls.process import DynamicAllocationProcess
 from repro.balls.rules import SchedulingRule
+from repro.engine.scalar import SpecProcess
+from repro.engine.spec import scenario_b_spec
 from repro.utils.rng import SeedLike
 
 __all__ = ["ScenarioBProcess", "scenario_b_transition"]
 
 
-class ScenarioBProcess(DynamicAllocationProcess):
+class ScenarioBProcess(SpecProcess):
     """Stateful simulator of I_B with an arbitrary scheduling rule.
 
+    A thin wrapper constructing the I_B spec for the scalar engine.
     Observability: phases and RNG draws appear under ``scenario_b.*``
     and the tracked nonempty-bin count as the gauge
     ``scenario_b.nonempty_bins`` when :mod:`repro.obs` is enabled.
     """
-
-    _obs_name = "scenario_b"
-    _obs_rng_per_phase = 2  # one nonempty-bin draw + one rule draw
 
     def __init__(
         self,
@@ -49,35 +49,12 @@ class ScenarioBProcess(DynamicAllocationProcess):
         *,
         seed: SeedLike = None,
     ):
-        super().__init__(state, seed=seed)
-        self.rule = rule
-        self._s = int(np.searchsorted(-self._v, 0, side="left"))
+        super().__init__(scenario_b_spec(rule), state, seed=seed)
 
     @property
     def num_nonempty(self) -> int:
         """Current count s of nonempty bins (maintained incrementally)."""
         return self._s
-
-    def _obs_account(self, steps: int) -> None:
-        super()._obs_account(steps)
-        from repro import obs
-
-        obs.metrics().gauge("scenario_b.nonempty_bins").set(self._s)
-
-    def step(self) -> None:
-        rng = self._rng
-        # Remove: uniform nonempty bin; normalized indices 0..s-1 are
-        # exactly the nonempty ones.
-        i = int(rng.integers(0, self._s))
-        s_idx = self._decrement_at(i)
-        if self._v[s_idx] == 0:
-            self._s -= 1
-        # Place.
-        j = self.rule.select(self._v, rng)
-        jj = self._increment_at(j)
-        if self._v[jj] == 1:
-            self._s += 1
-        self._t += 1
 
 
 def scenario_b_transition(

@@ -11,6 +11,10 @@ Commands:
 * ``verify``   — machine-verify the paper's coupling lemmas on small
   exhaustive domains (exits nonzero on any violation);
 * ``static``   — static allocation baseline (max load for d = 1..D);
+* ``engines``  — the spec × engine capability matrix: every registered
+  :class:`~repro.engine.spec.ProcessSpec`, which execution engines
+  (scalar / vectorized / exact) support it, and why rejected combos
+  are rejected;
 * ``bench``    — unified benchmark runner (``bench run`` discovers
   ``benchmarks/bench_*.py``, times them with warmup + repeats and
   RSS/CPU sampling, and writes a ``BENCH_<timestamp>_<gitrev>.json``
@@ -107,6 +111,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-d", type=int, default=3)
     p.add_argument("--replicas", type=int, default=5)
     p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser(
+        "engines", help="list registered process specs and engine support"
+    )
+    p.add_argument(
+        "--spec", default=None, metavar="NAME",
+        help="show only this registered spec (default: all)",
+    )
 
     p = sub.add_parser("bench", help="unified benchmark runner")
     bench_sub = p.add_subparsers(dest="bench_command", required=True)
@@ -358,6 +370,39 @@ def _cmd_diagnose(args) -> int:
     return 0
 
 
+def _cmd_engines(args) -> int:
+    from repro.engine import ENGINES, engine_support, spec_entries
+    from repro.utils.tables import Table
+
+    entries = spec_entries()
+    if args.spec is not None:
+        if args.spec not in entries:
+            print(
+                f"error: unknown spec {args.spec!r}; registered: "
+                f"{', '.join(entries)}",
+                file=sys.stderr,
+            )
+            return 1
+        entries = {args.spec: entries[args.spec]}
+    t = Table(
+        ["spec", "shape"] + [e.name for e in ENGINES],
+        title="registered process specs × execution engines",
+    )
+    for name, entry in entries.items():
+        spec = entry.build()
+        row = [name, spec.describe()]
+        for engine_name, (ok, why) in engine_support(spec).items():
+            row.append("yes" if ok else f"no: {why}")
+        t.add_row(row)
+    print(t.render())
+    print(
+        "\nyes = the engine executes the spec; no = rejected with the "
+        "reason shown.\nscalar is the reference path (always available); "
+        "see docs/ENGINES.md."
+    )
+    return 0
+
+
 def _cmd_bench(args) -> int:
     from repro.obs.bench import discover, render_bench_payload, run_benchmarks
 
@@ -455,6 +500,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "verify": _cmd_verify,
     "static": _cmd_static,
+    "engines": _cmd_engines,
     "bench": _cmd_bench,
     "obs": _cmd_obs,
 }

@@ -21,21 +21,23 @@ the measured quantiles in E1–E4 are what we compare to the theorems.
 
 from __future__ import annotations
 
-from typing import Callable, Union
+from typing import Union
 
 import numpy as np
 
 from repro import obs
-from repro.balls.distributions import quantile_removal_a, quantile_removal_b
-from repro.balls.load_vector import LoadVector, ominus, oplus
+from repro.balls.load_vector import LoadVector, ominus, oplus, oplus_index
 from repro.balls.rules import SchedulingRule
+from repro.engine.spec import ProcessSpec, scenario_a_spec, scenario_b_spec
 from repro.utils.rng import SeedLike, as_generator, spawn_generators
 
 __all__ = [
+    "coalescence_time_spec",
     "coalescence_time_a",
     "coalescence_time_b",
     "coalescence_time_edge",
     "coalescence_times",
+    "coalescence_times_vectorized",
 ]
 
 StateLike = Union[LoadVector, np.ndarray, list]
@@ -47,20 +49,34 @@ def _as_array(state: StateLike) -> np.ndarray:
     return LoadVector(state).loads.copy()
 
 
-def _coalescence_closed(
-    rule: SchedulingRule,
-    v: np.ndarray,
-    u: np.ndarray,
-    removal_quantile: Callable[[np.ndarray, float], int],
-    max_steps: int,
-    rng: np.random.Generator,
+def coalescence_time_spec(
+    spec: ProcessSpec,
+    start_v: StateLike,
+    start_u: StateLike,
+    *,
+    max_steps: int = 10_000_000,
+    seed: SeedLike = None,
 ) -> int:
+    """Coalescence time of two copies of *spec* under the grand coupling.
+
+    The shared-randomness draws route through the spec: both chains
+    invert the spec's removal law at the same uniform and consume the
+    same rule source via Φ_D = id — so any closed or open spec couples,
+    including relocation (shared move coin + shared target source) and
+    weighted w(ℓ) removal laws.  Returns the first step at which the
+    load vectors coincide, or -1 if not within *max_steps*.
+    """
+    rng = as_generator(seed)
+    v = _as_array(start_v)
+    u = _as_array(start_u)
     if v.shape != u.shape:
-        raise ValueError("states must have the same number of bins")
-    if int(v.sum()) != int(u.sum()):
-        raise ValueError("closed processes need equal ball counts")
+        raise ValueError("states must have equal size and ball count")
+    if spec.kind == "closed" and int(v.sum()) != int(u.sum()):
+        raise ValueError("states must have equal size and ball count")
     if np.array_equal(v, u):
         return 0
+    rule = spec.rule
+    law = spec.removal
     n = v.shape[0]
     # Under observability, record the convergence trace at power-of-two
     # checkpoints: the coupling distance (half the L1 gap — the quantity
@@ -68,13 +84,37 @@ def _coalescence_closed(
     observing = obs.enabled()
     result = -1
     for step in range(1, max_steps + 1):
-        q = float(rng.random())
-        v = ominus(v, removal_quantile(v, q))
-        u = ominus(u, removal_quantile(u, q))
-        length = max(rule.source_length(v), rule.source_length(u))
-        rs = rng.integers(0, n, size=length)
-        v = oplus(v, rule.select_from_source(v, rs))
-        u = oplus(u, rule.select_from_source(u, rule.phi(rs)))
+        if spec.kind == "closed":
+            q = float(rng.random())
+            v = ominus(v, law.quantile(v, q))
+            u = ominus(u, law.quantile(u, q))
+            length = max(rule.source_length(v), rule.source_length(u))
+            rs = rng.integers(0, n, size=length)
+            v = oplus(v, rule.select_from_source(v, rs))
+            u = oplus(u, rule.select_from_source(u, rule.phi(rs)))
+            if spec.p_relocate > 0 and rng.random() < spec.p_relocate:
+                # Shared target source; the gap-≥-2 guard is per chain.
+                length = max(rule.source_length(v), rule.source_length(u))
+                rs = rng.integers(0, n, size=length)
+                for arr, src in ((v, rs), (u, rule.phi(rs))):
+                    t = rule.select_from_source(arr, src)
+                    if arr[0] - arr[t] >= 2:
+                        arr[:] = oplus(ominus(arr, 0), t)
+        else:
+            coin = bool(rng.random() < 0.5)
+            q = float(rng.random())
+            if coin:
+                for arr in (v, u):
+                    if arr.sum() > 0:
+                        arr[:] = ominus(arr, law.quantile(arr, q))
+            else:
+                length = max(rule.source_length(v), rule.source_length(u))
+                rs = rng.integers(0, n, size=length)
+                for arr, src in ((v, rs), (u, rule.phi(rs))):
+                    if spec.max_balls is not None and arr.sum() >= spec.max_balls:
+                        continue
+                    j = rule.select_from_source(arr, src)
+                    arr[oplus_index(arr, j)] += 1
         if observing and (step & (step - 1)) == 0:
             obs.record_sample(
                 "coupling/distance", step, 0.5 * float(np.abs(v - u).sum())
@@ -108,10 +148,8 @@ def coalescence_time_a(
     if they have not within *max_steps*.  Theorem 1 predicts typical
     values around m·ln m.
     """
-    rng = as_generator(seed)
-    return _coalescence_closed(
-        rule, _as_array(start_v), _as_array(start_u),
-        quantile_removal_a, max_steps, rng,
+    return coalescence_time_spec(
+        scenario_a_spec(rule), start_v, start_u, max_steps=max_steps, seed=seed
     )
 
 
@@ -128,10 +166,8 @@ def coalescence_time_b(
     Claim 5.3 predicts O(n·m²) worst-case values (with the improved
     O(m²·polylog) noted by the paper).
     """
-    rng = as_generator(seed)
-    return _coalescence_closed(
-        rule, _as_array(start_v), _as_array(start_u),
-        quantile_removal_b, max_steps, rng,
+    return coalescence_time_spec(
+        scenario_b_spec(rule), start_v, start_u, max_steps=max_steps, seed=seed
     )
 
 
@@ -235,3 +271,90 @@ def coalescence_times(
     return np.array(
         [fn(*args, seed=g, **kwargs) for g in gens], dtype=np.int64
     )
+
+
+def coalescence_times_vectorized(
+    spec: ProcessSpec,
+    start_v: StateLike,
+    start_u: StateLike,
+    replicas: int,
+    *,
+    max_steps: int = 1_000_000,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """R independent grand-coupling replicas advanced as two (R, n) matrices.
+
+    Each replica carries its own pair of chains driven by its own row
+    of shared uniforms: removal is quantile-coupled through the spec's
+    ``quantile_batch``, and an inverse-transform rule places both
+    chains at the same normalized index (the identity-Φ coupling of
+    Lemma 3.4, which for load-independent insertion laws is exactly the
+    shared-source coupling).  Requires a closed spec the vectorized
+    engine supports.  Coalesced pairs keep stepping (shared randomness
+    keeps them equal) while their times are frozen.  Returns the int64
+    array of times (−1 where the cap was hit).
+    """
+    from repro.engine.vectorized import VectorizedEngine
+
+    if spec.kind != "closed":
+        raise ValueError(
+            "vectorized coalescence needs a closed spec (open-system "
+            "coupling stays on coalescence_time_spec)"
+        )
+    ok, why = VectorizedEngine.supports(spec)
+    if not ok:
+        raise ValueError(f"spec {spec.name!r} is not vectorizable: {why}")
+    replicas = int(replicas)
+    rng = as_generator(seed)
+    v0 = _as_array(start_v)
+    u0 = _as_array(start_u)
+    if v0.shape != u0.shape or int(v0.sum()) != int(u0.sum()):
+        raise ValueError("states must have equal size and ball count")
+    n = v0.shape[0]
+    rule = spec.rule
+    law = spec.removal
+    X = np.tile(v0, (replicas, 1)).astype(np.int64)
+    Y = np.tile(u0, (replicas, 1)).astype(np.int64)
+    rows = np.arange(replicas)
+    times = np.full(replicas, -1, dtype=np.int64)
+    if np.array_equal(v0, u0):
+        times[:] = 0
+        return times
+    alive = np.ones(replicas, dtype=bool)
+
+    def apply_dec(V: np.ndarray, idx: np.ndarray) -> None:
+        vals = V[rows, idx]
+        pos = (V >= vals[:, None]).sum(axis=1) - 1
+        V[rows, pos] -= 1
+
+    def apply_inc(V: np.ndarray, idx: np.ndarray) -> None:
+        vals = V[rows, idx]
+        pos = (V > vals[:, None]).sum(axis=1)
+        V[rows, pos] += 1
+
+    for step in range(1, max_steps + 1):
+        q = rng.random(replicas)
+        apply_dec(X, law.quantile_batch(X, q))
+        apply_dec(Y, law.quantile_batch(Y, q))
+        j = rule.insertion_quantile_batch(n, rng.random(replicas))
+        apply_inc(X, j)
+        apply_inc(Y, j)
+        if spec.p_relocate > 0:
+            coin = rng.random(replicas) < spec.p_relocate
+            t = rule.insertion_quantile_batch(n, rng.random(replicas))
+            for V in (X, Y):
+                sel = np.nonzero(coin & ((V[rows, 0] - V[rows, t]) >= 2))[0]
+                if sel.size:
+                    vals = V[sel, 0]
+                    pos = (V[sel] >= vals[:, None]).sum(axis=1) - 1
+                    V[sel, pos] -= 1
+                    tv = V[sel, t[sel]]
+                    pos = (V[sel] > tv[:, None]).sum(axis=1)
+                    V[sel, pos] += 1
+        newly = alive & (X == Y).all(axis=1)
+        if newly.any():
+            times[newly] = step
+            alive &= ~newly
+            if not alive.any():
+                break
+    return times

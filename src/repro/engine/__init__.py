@@ -1,0 +1,73 @@
+"""Pluggable execution engines over declarative process specs.
+
+The §3.3 abstraction — a removal law plus a placement rule iterated
+over a normalized load vector — is declared once as a
+:class:`~repro.engine.spec.ProcessSpec` and executed by any of three
+engines:
+
+* :class:`~repro.engine.scalar.ScalarEngine` — one O(log n) phase at a
+  time; the reference path every spec supports;
+* :class:`~repro.engine.vectorized.VectorizedEngine` — an (R, n)
+  whole-array stepper for every spec whose rule has an
+  inverse-transform insertion law (ABKU[d]; ADAP(χ) is rejected with a
+  reason);
+* :class:`~repro.engine.exact.ExactEngine` — dense transition kernels
+  over enumerated partitions for small instances.
+
+See ``docs/ENGINES.md`` for the spec/engine contract and how to add a
+new process in one file; ``python -m repro engines`` prints the
+capability matrix.
+"""
+
+from repro.engine.exact import ExactEngine
+from repro.engine.registry import (
+    ENGINES,
+    SpecEntry,
+    engine_for,
+    engine_support,
+    get_engine,
+    register_spec,
+    registered_specs,
+    spec_entries,
+)
+from repro.engine.scalar import OpenSpecProcess, ScalarEngine, SpecProcess
+from repro.engine.spec import (
+    BallRemoval,
+    BinRemoval,
+    ProcessSpec,
+    RemovalLaw,
+    WeightedRemoval,
+    custom_removal_spec,
+    open_spec,
+    relocation_spec,
+    scenario_a_spec,
+    scenario_b_spec,
+)
+from repro.engine.vectorized import VectorizedEngine, VectorizedProcess
+
+__all__ = [
+    "ENGINES",
+    "BallRemoval",
+    "BinRemoval",
+    "ExactEngine",
+    "OpenSpecProcess",
+    "ProcessSpec",
+    "RemovalLaw",
+    "ScalarEngine",
+    "SpecEntry",
+    "SpecProcess",
+    "VectorizedEngine",
+    "VectorizedProcess",
+    "WeightedRemoval",
+    "custom_removal_spec",
+    "engine_for",
+    "engine_support",
+    "get_engine",
+    "open_spec",
+    "register_spec",
+    "registered_specs",
+    "relocation_spec",
+    "scenario_a_spec",
+    "scenario_b_spec",
+    "spec_entries",
+]

@@ -1,0 +1,159 @@
+"""Exact execution engine: dense kernels over enumerated partitions.
+
+For small (n, m) every spec induces a finite Markov chain whose dense
+transition matrix we can build exactly — the ground truth the paper's
+bounds and the simulators are checked against (experiments E9/E15).
+This engine derives that matrix *from the spec alone*:
+
+* **closed specs** — states are Ω_m (partitions of m into ≤ n parts);
+  one phase composes the removal pmf with the rule's exact insertion
+  pmf on the intermediate state.  A relocating spec additionally mixes
+  each phase outcome with the conditional relocation move (fullest →
+  rule-target when the gap is ≥ 2), weighting by ``p_relocate`` — a
+  capability the per-process kernel constructors never had.
+* **open specs** — states are ⋃_{k ≤ max_balls} Ω_k; a fair coin picks
+  the removal half-step (no-op when empty) or the insertion half-step
+  (no-op at the cap).  Any removal law works, not just 𝒜/ℬ.
+
+The legacy constructors (:func:`repro.markov.exact.scenario_a_kernel`
+and friends) are now thin wrappers over this engine; the parity suite
+pins the matrices equal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.balls.load_vector import ominus, oplus
+from repro.engine.spec import ProcessSpec
+from repro.markov.chain import FiniteMarkovChain
+from repro.utils.partitions import all_partitions
+from repro.utils.validation import check_positive_int
+
+__all__ = ["ExactEngine"]
+
+
+def _phase_distribution(
+    spec: ProcessSpec,
+    v: np.ndarray,
+    index: dict,
+    out_row: np.ndarray,
+) -> None:
+    """Accumulate the one-phase distribution from state *v* into *out_row*."""
+    n = v.shape[0]
+    pmf = spec.removal.pmf(v)
+    for i in range(n):
+        p_rm = float(pmf[i])
+        if p_rm <= 0.0:
+            continue
+        vstar = ominus(v, i)
+        q = spec.rule.insertion_distribution(vstar)
+        for j in range(n):
+            p_in = p_rm * float(q[j])
+            if p_in <= 0.0:
+                continue
+            v0 = oplus(vstar, j)
+            if spec.p_relocate > 0.0:
+                _relocation_mix(spec, v0, index, out_row, p_in)
+            else:
+                out_row[index[tuple(int(x) for x in v0)]] += p_in
+
+
+def _relocation_mix(
+    spec: ProcessSpec,
+    v0: np.ndarray,
+    index: dict,
+    out_row: np.ndarray,
+    mass: float,
+) -> None:
+    """Mix the post-phase state with the conditional relocation move.
+
+    With probability 1−p the phase outcome stands; with probability p a
+    rule-target t is drawn on v0 and one ball moves fullest → t iff
+    v0[0] − v0[t] ≥ 2 (otherwise the move is a no-op).
+    """
+    p = spec.p_relocate
+    k0 = index[tuple(int(x) for x in v0)]
+    out_row[k0] += mass * (1.0 - p)
+    q = spec.rule.insertion_distribution(v0)
+    for t in range(v0.shape[0]):
+        pt = float(q[t])
+        if pt <= 0.0:
+            continue
+        if v0[0] - v0[t] >= 2:
+            moved = oplus(ominus(v0, 0), t)
+            out_row[index[tuple(int(x) for x in moved)]] += mass * p * pt
+        else:
+            out_row[k0] += mass * p * pt
+
+
+class ExactEngine:
+    """Dense-kernel engine over enumerated partition state spaces."""
+
+    name = "exact"
+
+    @staticmethod
+    def supports(spec: ProcessSpec) -> tuple[bool, str]:
+        """Any spec with a finite state space (open specs need a cap)."""
+        if spec.kind == "open" and spec.max_balls is None:
+            return False, "unbounded open system: set max_balls for a finite ⋃Ω_k"
+        return True, "dense kernel on enumerated partitions"
+
+    @staticmethod
+    def kernel(spec: ProcessSpec, n: int, m: int | None = None) -> FiniteMarkovChain:
+        """Build the exact transition kernel of *spec* on n bins.
+
+        Closed specs require the ball count *m* (state space Ω_m); open
+        specs take their cap from ``spec.max_balls`` (state space
+        ⋃_{k ≤ cap} Ω_k) and ignore *m*.
+        """
+        ok, why = ExactEngine.supports(spec)
+        if not ok:
+            raise ValueError(f"spec {spec.name!r} has no exact kernel: {why}")
+        n = check_positive_int("n", n)
+        if spec.kind == "open":
+            return ExactEngine._open_kernel(spec, n)
+        if m is None:
+            raise ValueError("closed specs need the ball count m")
+        m = check_positive_int("m", m)
+        states = all_partitions(m, n)
+        index = {s: k for k, s in enumerate(states)}
+        P = np.zeros((len(states), len(states)), dtype=np.float64)
+        for k, s in enumerate(states):
+            _phase_distribution(spec, np.array(s, dtype=np.int64), index, P[k])
+        return FiniteMarkovChain(states, P)
+
+    @staticmethod
+    def _open_kernel(spec: ProcessSpec, n: int) -> FiniteMarkovChain:
+        cap = int(spec.max_balls)  # supports() guaranteed it is set
+        states: list[tuple[int, ...]] = []
+        for k in range(cap + 1):
+            states.extend(all_partitions(k, n))
+        index = {s: k for k, s in enumerate(states)}
+        P = np.zeros((len(states), len(states)), dtype=np.float64)
+        for k, s in enumerate(states):
+            v = np.array(s, dtype=np.int64)
+            m = int(v.sum())
+            # Removal half-step (no-op when empty).
+            if m == 0:
+                P[k, k] += 0.5
+            else:
+                pmf = spec.removal.pmf(v)
+                for i in range(n):
+                    p_rm = float(pmf[i])
+                    if p_rm <= 0.0:
+                        continue
+                    v_rm = ominus(v, i)
+                    P[k, index[tuple(int(x) for x in v_rm)]] += 0.5 * p_rm
+            # Insertion half-step (no-op at the cap).
+            if m >= cap:
+                P[k, k] += 0.5
+            else:
+                q = spec.rule.insertion_distribution(v)
+                for j in range(n):
+                    p_in = float(q[j])
+                    if p_in <= 0.0:
+                        continue
+                    v_in = oplus(v, j)
+                    P[k, index[tuple(int(x) for x in v_in)]] += 0.5 * p_in
+        return FiniteMarkovChain(states, P)

@@ -1,0 +1,152 @@
+"""Spec registry and engine selection.
+
+Central catalogue of the repository's named process specs — one entry
+per process in the DESIGN.md inventory — plus the capability matrix
+(which engine supports which spec, and why not when it doesn't) that
+backs the ``repro engines`` CLI subcommand and the engine-parity tests.
+
+Engine selection by scale: at ``--scale smoke`` experiments stay on the
+scalar reference path (deterministic, cheap); at ``--scale paper`` a
+replica sweep moves to the vectorized engine whenever the spec
+supports it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.balls.custom_removal import weight_power
+from repro.balls.rules import ABKURule, AdaptiveRule, threshold_chi
+from repro.engine.exact import ExactEngine
+from repro.engine.scalar import ScalarEngine
+from repro.engine.spec import (
+    ProcessSpec,
+    custom_removal_spec,
+    open_spec,
+    relocation_spec,
+    scenario_a_spec,
+    scenario_b_spec,
+)
+from repro.engine.vectorized import VectorizedEngine
+
+__all__ = [
+    "ENGINES",
+    "SpecEntry",
+    "register_spec",
+    "registered_specs",
+    "spec_entries",
+    "engine_support",
+    "get_engine",
+    "engine_for",
+]
+
+#: The pluggable engines, in preference order for replica sweeps.
+ENGINES = (ScalarEngine, VectorizedEngine, ExactEngine)
+
+
+@dataclass(frozen=True)
+class SpecEntry:
+    """A registered spec: a factory (specs hold rule instances, so they
+    are built fresh per request) plus a human description."""
+
+    name: str
+    build: Callable[[], ProcessSpec]
+    description: str = ""
+
+
+_REGISTRY: dict[str, SpecEntry] = {}
+
+
+def register_spec(
+    name: str,
+    build: Callable[[], ProcessSpec],
+    *,
+    description: str = "",
+) -> None:
+    """Register a named spec factory (overwrites an existing name)."""
+    _REGISTRY[name] = SpecEntry(name, build, description)
+
+
+def spec_entries() -> dict[str, SpecEntry]:
+    """All registered entries, keyed by name (insertion-ordered copy)."""
+    return dict(_REGISTRY)
+
+
+def registered_specs() -> dict[str, ProcessSpec]:
+    """Freshly built specs for every registered name."""
+    return {name: entry.build() for name, entry in _REGISTRY.items()}
+
+
+def engine_support(spec: ProcessSpec) -> dict[str, tuple[bool, str]]:
+    """Capability matrix row: engine name → (supported, reason)."""
+    return {engine.name: engine.supports(spec) for engine in ENGINES}
+
+
+def get_engine(name: str):
+    """Look an engine class up by its ``name`` attribute."""
+    for engine in ENGINES:
+        if engine.name == name:
+            return engine
+    raise ValueError(
+        f"unknown engine {name!r}; choose from "
+        f"{', '.join(e.name for e in ENGINES)}"
+    )
+
+
+def engine_for(spec: ProcessSpec, scale: str, *, replicas: int = 1):
+    """Pick the execution engine for *spec* at a scale preset.
+
+    Smoke runs stay on the scalar reference path.  At paper scale a
+    multi-replica sweep moves to the vectorized engine when the spec
+    supports it; otherwise (ADAP(χ) and friends) scalar remains.
+    """
+    if scale == "paper" and replicas > 1 and VectorizedEngine.supports(spec)[0]:
+        return VectorizedEngine
+    return ScalarEngine
+
+
+# ---------------------------------------------------------------------------
+# Default catalogue: the DESIGN.md process inventory as specs
+# ---------------------------------------------------------------------------
+
+register_spec(
+    "scenario_a",
+    lambda: scenario_a_spec(ABKURule(2)),
+    description="I_A (§4): remove uniform ball, place ABKU[2]",
+)
+register_spec(
+    "scenario_b",
+    lambda: scenario_b_spec(ABKURule(2)),
+    description="I_B (§5): remove from uniform nonempty bin, place ABKU[2]",
+)
+register_spec(
+    "scenario_a_adap",
+    lambda: scenario_a_spec(
+        AdaptiveRule(threshold_chi(1, 3, 2), name="adap[1|3@2]"),
+        name="scenario_a_adap",
+    ),
+    description="I_A with ADAP(χ): adaptive sequential sampling (§2)",
+)
+register_spec(
+    "open_ball",
+    lambda: open_spec(ABKURule(2), removal="ball", max_balls=6),
+    description="§7 open system, scenario-A removal, capped population",
+)
+register_spec(
+    "open_bin",
+    lambda: open_spec(ABKURule(2), removal="bin", max_balls=6),
+    description="§7 open system, scenario-B removal, capped population",
+)
+register_spec(
+    "relocation",
+    lambda: relocation_spec(ABKURule(2), scenario="a", p_relocate=0.5),
+    description="§7 relocation: closed phase + conditional fullest→target move",
+)
+register_spec(
+    "custom_pressure",
+    lambda: custom_removal_spec(
+        ABKURule(2), weight_power(2.0), name="custom_pressure"
+    ),
+    description="§7 generalized removal w(ℓ)=ℓ², place ABKU[2]",
+)

@@ -1,0 +1,283 @@
+"""Declarative process specifications: one definition, every engine.
+
+The paper's framework (§3.3) treats every dynamic allocation process as
+a single abstract shape: a *removal law* (which normalized bin loses a
+ball) plus a *scheduling rule* (where the new ball goes) iterated over a
+normalized load vector.  A :class:`ProcessSpec` captures exactly that
+shape — removal law, placement rule, and a state-space descriptor
+(closed Ω_m / open ⋃Ω_k, optional population cap, optional relocation
+move) — so the scalar, vectorized and exact engines in this package can
+all execute the *same* declaration instead of three parallel
+reimplementations.
+
+Removal laws are reified with three access paths, mirroring how the
+paper's distributions are consumed across the codebase:
+
+* ``pmf(v)`` — the exact distribution (exact kernels, faithfulness
+  checks);
+* ``quantile(v, u)`` — inverse-CDF at a uniform (scalar simulators and
+  the shared-uniform grand coupling of :mod:`repro.coupling.grand`);
+* ``quantile_batch(V, u)`` — the same inversion over an (R, n) matrix
+  of replicas at once (the vectorized engine).
+
+:class:`BallRemoval` is 𝒜(v) (Definition 3.2), :class:`BinRemoval` is
+ℬ(v) (Definition 3.3), and :class:`WeightedRemoval` is the §7
+generalization w(ℓ) — which subsumes both (w(ℓ)=ℓ → 𝒜, w(ℓ)=1[ℓ>0] →
+ℬ) but keeps them as dedicated classes so the engines can use their
+O(log n) / closed-form fast paths.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Literal
+
+import numpy as np
+
+from repro.balls.distributions import (
+    quantile_removal_a,
+    quantile_removal_b,
+    removal_distribution_a,
+    removal_distribution_b,
+)
+from repro.balls.rules import SchedulingRule
+from repro.utils.validation import check_positive_int, check_probability
+
+__all__ = [
+    "RemovalLaw",
+    "BallRemoval",
+    "BinRemoval",
+    "WeightedRemoval",
+    "ProcessSpec",
+    "scenario_a_spec",
+    "scenario_b_spec",
+    "custom_removal_spec",
+    "open_spec",
+    "relocation_spec",
+]
+
+
+# ---------------------------------------------------------------------------
+# Removal laws
+# ---------------------------------------------------------------------------
+
+class RemovalLaw(ABC):
+    """A removal distribution over normalized bin indices.
+
+    Implementations must agree across the three access paths: for any
+    state v, ``quantile(v, u)`` must invert the CDF of ``pmf(v)``, and
+    ``quantile_batch`` must equal row-wise ``quantile`` (the engine
+    parity tests enforce this).  ``batchable`` advertises whether
+    ``quantile_batch`` exists — laws that need sequential sampling can
+    set it False and stay scalar-only.
+    """
+
+    name: str = "removal"
+    batchable: bool = True
+
+    @abstractmethod
+    def pmf(self, v: np.ndarray) -> np.ndarray:
+        """Exact removal pmf over normalized indices 0..n-1."""
+
+    @abstractmethod
+    def quantile(self, v: np.ndarray, u: float) -> int:
+        """Inverse-CDF of ``pmf(v)`` at u ∈ [0, 1)."""
+
+    def quantile_batch(self, V: np.ndarray, u: np.ndarray) -> np.ndarray:
+        """Row-wise ``quantile`` over an (R, n) load matrix at u of shape (R,).
+
+        Every row must admit a removal (positive total weight); the
+        engines mask empty rows out before calling.
+        """
+        raise NotImplementedError(f"{self.name} has no vectorized quantile")
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class BallRemoval(RemovalLaw):
+    """𝒜(v): remove a uniformly random ball — Pr[i] = v_i / m (Def 3.2)."""
+
+    name = "ball"
+
+    def pmf(self, v: np.ndarray) -> np.ndarray:
+        return removal_distribution_a(v)
+
+    def quantile(self, v: np.ndarray, u: float) -> int:
+        return quantile_removal_a(v, u)
+
+    def quantile_batch(self, V: np.ndarray, u: np.ndarray) -> np.ndarray:
+        # Ball ⌊u·m⌋ of each row; the bin holding it is the row-wise
+        # inverse CDF of the loads (counting comparison on the cumsum).
+        m = V.sum(axis=1)
+        targets = np.minimum((u * m).astype(np.int64), m - 1)
+        csum = np.cumsum(V, axis=1)
+        return (csum <= targets[:, None]).sum(axis=1)
+
+
+class BinRemoval(RemovalLaw):
+    """ℬ(v): remove from a uniform nonempty bin — Pr[i] = 1/s, i < s (Def 3.3)."""
+
+    name = "bin"
+
+    def pmf(self, v: np.ndarray) -> np.ndarray:
+        return removal_distribution_b(v)
+
+    def quantile(self, v: np.ndarray, u: float) -> int:
+        return quantile_removal_b(v, u)
+
+    def quantile_batch(self, V: np.ndarray, u: np.ndarray) -> np.ndarray:
+        # Nonempty bins are exactly indices 0..s-1 in normalized rows.
+        s = (V > 0).sum(axis=1)
+        return np.minimum((u * s).astype(np.int64), s - 1)
+
+
+class WeightedRemoval(RemovalLaw):
+    """The §7 generalized law: Pr[i] ∝ w(v_i), never removing from empty bins.
+
+    ``weight`` maps a load ℓ ≥ 0 to a non-negative weight (see
+    :mod:`repro.balls.custom_removal` for the paper's examples:
+    w(ℓ)=ℓ^γ pressure removal, and the 𝒜/ℬ special cases).
+    """
+
+    def __init__(self, weight: Callable[[int], float], *, name: str = "weighted"):
+        self.weight = weight
+        self.name = name
+
+    def pmf(self, v: np.ndarray) -> np.ndarray:
+        from repro.balls.custom_removal import removal_pmf_from_weights
+
+        return removal_pmf_from_weights(v, self.weight)
+
+    def quantile(self, v: np.ndarray, u: float) -> int:
+        i = int(np.searchsorted(np.cumsum(self.pmf(v)), u, side="right"))
+        return min(i, v.shape[0] - 1)
+
+    def quantile_batch(self, V: np.ndarray, u: np.ndarray) -> np.ndarray:
+        # Loads are small ints, so evaluate w on the distinct values
+        # only and gather — keeps arbitrary Python weight functions off
+        # the (R, n) hot path.
+        vals, inv = np.unique(V, return_inverse=True)
+        wtab = np.array([self.weight(int(x)) for x in vals], dtype=np.float64)
+        if (wtab < 0).any():
+            raise ValueError("weights must be non-negative")
+        wtab[vals == 0] = 0.0
+        W = wtab[inv].reshape(V.shape)
+        total = W.sum(axis=1)
+        if (total <= 0).any():
+            raise ValueError("no bin has positive removal weight")
+        csum = np.cumsum(W, axis=1)
+        idx = (csum <= (u * total)[:, None]).sum(axis=1)
+        return np.minimum(idx, V.shape[1] - 1)
+
+    def __repr__(self) -> str:
+        return f"WeightedRemoval(name={self.name!r})"
+
+
+# ---------------------------------------------------------------------------
+# Process specification
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ProcessSpec:
+    """Declarative description of a dynamic allocation process (§3.3).
+
+    * ``kind='closed'`` — one phase = remove one ball (by ``removal``),
+      place one ball (by ``rule``); the ball count is invariant (Ω_m).
+    * ``kind='open'`` — the §7 open system: each step a fair coin picks
+      a removal attempt (no-op on the empty state) or an insertion
+      attempt (no-op at the ``max_balls`` cap, if set); the state space
+      is ⋃_k Ω_k.
+    * ``p_relocate`` — the §7 relocation extension: after a closed
+      phase, with this probability move one ball from the fullest bin
+      to a rule-selected target when that strictly improves balance
+      (load gap ≥ 2).
+
+    Specs are frozen (hashable) so engines and registries can treat
+    them as values; use :func:`dataclasses.replace` to derive variants.
+    """
+
+    name: str
+    rule: SchedulingRule
+    removal: RemovalLaw
+    kind: Literal["closed", "open"] = "closed"
+    max_balls: int | None = None
+    p_relocate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("closed", "open"):
+            raise ValueError(f"kind must be 'closed' or 'open', got {self.kind!r}")
+        object.__setattr__(
+            self, "p_relocate", check_probability("p_relocate", self.p_relocate)
+        )
+        if self.max_balls is not None:
+            check_positive_int("max_balls", self.max_balls)
+            if self.kind != "open":
+                raise ValueError("max_balls only applies to open specs")
+        if self.p_relocate > 0 and self.kind != "closed":
+            raise ValueError("relocation only applies to closed specs")
+
+    def describe(self) -> str:
+        """One-line human description (used by the ``repro engines`` CLI)."""
+        bits = [f"{self.kind}", f"removal={self.removal.name}",
+                f"rule={self.rule.name}"]
+        if self.max_balls is not None:
+            bits.append(f"cap={self.max_balls}")
+        if self.p_relocate > 0:
+            bits.append(f"p_relocate={self.p_relocate}")
+        return ", ".join(bits)
+
+
+# ---------------------------------------------------------------------------
+# Spec builders for the paper's named processes
+# ---------------------------------------------------------------------------
+
+def scenario_a_spec(rule: SchedulingRule, *, name: str = "scenario_a") -> ProcessSpec:
+    """I_A (§4): remove a uniform ball, place by *rule*."""
+    return ProcessSpec(name, rule, BallRemoval())
+
+
+def scenario_b_spec(rule: SchedulingRule, *, name: str = "scenario_b") -> ProcessSpec:
+    """I_B (§5): remove from a uniform nonempty bin, place by *rule*."""
+    return ProcessSpec(name, rule, BinRemoval())
+
+
+def custom_removal_spec(
+    rule: SchedulingRule,
+    weight: Callable[[int], float],
+    *,
+    name: str = "custom_removal",
+) -> ProcessSpec:
+    """The §7 generalized-removal process: remove by w(ℓ), place by *rule*."""
+    return ProcessSpec(name, rule, WeightedRemoval(weight, name=f"w({name})"))
+
+
+def open_spec(
+    rule: SchedulingRule,
+    *,
+    removal: Literal["ball", "bin"] = "ball",
+    max_balls: int | None = None,
+    name: str | None = None,
+) -> ProcessSpec:
+    """The §7 open system: ½ remove / ½ insert, optionally population-capped."""
+    if removal not in ("ball", "bin"):
+        raise ValueError(f"removal must be 'ball' or 'bin', got {removal!r}")
+    law = BallRemoval() if removal == "ball" else BinRemoval()
+    return ProcessSpec(
+        name or f"open_{removal}", rule, law, kind="open", max_balls=max_balls
+    )
+
+
+def relocation_spec(
+    rule: SchedulingRule,
+    *,
+    scenario: Literal["a", "b"] = "a",
+    p_relocate: float = 0.5,
+    name: str = "relocation",
+) -> ProcessSpec:
+    """The §7 relocation extension over the scenario-A or -B removal law."""
+    if scenario not in ("a", "b"):
+        raise ValueError(f"scenario must be 'a' or 'b', got {scenario!r}")
+    law = BallRemoval() if scenario == "a" else BinRemoval()
+    return ProcessSpec(name, rule, law, p_relocate=p_relocate)

@@ -21,6 +21,7 @@ __all__ = [
     "format_duration",
     "main_for",
     "run_observed",
+    "select_engine",
 ]
 
 Scale = str
@@ -32,6 +33,19 @@ def check_scale(scale: str) -> str:
     if scale not in _SCALES:
         raise ValueError(f"scale must be one of {_SCALES}, got {scale!r}")
     return scale
+
+
+def select_engine(spec, scale: str, *, replicas: int = 1):
+    """Pick an execution engine for *spec* at a scale preset.
+
+    Smoke runs stay on the scalar reference path (cheap, and keeps
+    smoke results bit-stable across engine changes); paper-scale
+    replica sweeps move to the vectorized engine when the spec supports
+    it.  Returns an engine class from :mod:`repro.engine`.
+    """
+    from repro.engine.registry import engine_for
+
+    return engine_for(spec, check_scale(scale), replicas=replicas)
 
 
 @dataclass

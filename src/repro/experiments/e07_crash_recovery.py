@@ -19,7 +19,8 @@ from repro.balls.load_vector import LoadVector
 from repro.balls.rules import ABKURule
 from repro.balls.scenario_a import ScenarioAProcess
 from repro.balls.scenario_b import ScenarioBProcess
-from repro.experiments.base import ExperimentResult, check_scale, main_for
+from repro.engine.spec import scenario_a_spec, scenario_b_spec
+from repro.experiments.base import ExperimentResult, check_scale, main_for, select_engine
 from repro.utils.tables import Table
 
 EXPERIMENT_ID = "E7"
@@ -37,14 +38,17 @@ def run(scale: str = "smoke", seed: int = 0) -> ExperimentResult:
     rule = ABKURule(2)
     tables = []
     data: dict = {}
-    for scenario, make, shape, shape_name in (
-        ("a",
+    for scenario, spec_builder, make, shape, shape_name in (
+        ("a", scenario_a_spec,
          lambda n: (lambda rng: ScenarioAProcess(rule, LoadVector.random(n, n, rng), seed=rng)),
          lambda n: n * np.log(n), "n ln n"),
-        ("b",
+        ("b", scenario_b_spec,
          lambda n: (lambda rng: ScenarioBProcess(rule, LoadVector.random(n, n, rng), seed=rng)),
          lambda n: n * n * np.log(n), "n^2 ln n"),
     ):
+        # Engine by scale: smoke keeps the scalar reference path, paper
+        # sweeps move to the vectorized (R, n) stepper.
+        engine = select_engine(spec_builder(rule), scale, replicas=p["replicas"])
         t = Table(
             ["n=m", "target load", "median T", "q95 T", shape_name,
              f"median/({shape_name})"],
@@ -64,6 +68,7 @@ def run(scale: str = "smoke", seed: int = 0) -> ExperimentResult:
                 rule, n, n, target,
                 scenario=scenario,
                 replicas=p["replicas"],
+                engine=engine.name,
                 seed=seed + 100 + k,
             ).astype(np.float64)
             if (times < 0).any():

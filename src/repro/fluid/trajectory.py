@@ -17,9 +17,10 @@ from typing import Literal
 
 import numpy as np
 
-from repro.balls.batch import BatchProcess
 from repro.balls.load_vector import LoadVector
 from repro.balls.rules import ABKURule
+from repro.engine.spec import scenario_a_spec, scenario_b_spec
+from repro.engine.vectorized import VectorizedEngine
 from repro.fluid.dynamic_ode import DynamicFluidSolution, solve_dynamic_fluid
 from repro.utils.rng import SeedLike
 
@@ -78,7 +79,8 @@ def compare_recovery_trajectory(
         [fluid.tail_at(k)[tracked_level] for k in range(len(fluid.times))]
     )
 
-    bp = BatchProcess(ABKURule(d), start, replicas, scenario=scenario, seed=seed)
+    spec = (scenario_a_spec if scenario == "a" else scenario_b_spec)(ABKURule(d))
+    bp = VectorizedEngine.make(spec, start, replicas, seed=seed)
     sim_curve = [float((bp.loads >= tracked_level).mean())]
     steps_per_unit = n  # the fluid time scale: n phases per unit
     done = 0

@@ -15,19 +15,19 @@ These matrices are the ground truth for experiment E9: the exact mixing
 time they yield is compared against the Theorem 1 / Claim 5.3 path
 coupling bounds, and the simulators are cross-validated against them by
 comparing empirical one-step transition frequencies.
+
+The constructors are thin wrappers over
+:class:`repro.engine.exact.ExactEngine`, which derives the kernel from
+the declarative spec — the same declaration the scalar and vectorized
+simulators execute.
 """
 
 from __future__ import annotations
 
 from typing import Literal
 
-import numpy as np
-
-from repro.balls.load_vector import ominus, oplus
 from repro.balls.rules import SchedulingRule
 from repro.markov.chain import FiniteMarkovChain
-from repro.utils.partitions import all_partitions
-from repro.utils.validation import check_positive_int
 
 __all__ = [
     "scenario_a_kernel",
@@ -36,48 +36,22 @@ __all__ = [
 ]
 
 
-def _closed_kernel(
-    rule: SchedulingRule,
-    n: int,
-    m: int,
-    removal: Literal["ball", "bin"],
-) -> FiniteMarkovChain:
-    n = check_positive_int("n", n)
-    m = check_positive_int("m", m)
-    states = all_partitions(m, n)
-    index = {s: k for k, s in enumerate(states)}
-    size = len(states)
-    P = np.zeros((size, size), dtype=np.float64)
-    for k, s in enumerate(states):
-        v = np.array(s, dtype=np.int64)
-        if removal == "ball":
-            probs = v.astype(np.float64) / m
-        else:
-            nonempty = int(np.searchsorted(-v, 0, side="left"))
-            probs = np.zeros(n)
-            probs[:nonempty] = 1.0 / nonempty
-        for i in range(n):
-            p_rm = probs[i]
-            if p_rm <= 0.0:
-                continue
-            vstar = ominus(v, i)
-            q = rule.insertion_distribution(vstar)
-            for j in range(n):
-                if q[j] <= 0.0:
-                    continue
-                v0 = oplus(vstar, j)
-                P[k, index[tuple(int(x) for x in v0)]] += p_rm * q[j]
-    return FiniteMarkovChain(states, P)
-
-
 def scenario_a_kernel(rule: SchedulingRule, n: int, m: int) -> FiniteMarkovChain:
     """Exact I_A kernel on Ω_m (removal distribution 𝒜)."""
-    return _closed_kernel(rule, n, m, "ball")
+    # Lazy: repro.engine.exact imports repro.markov.chain, so a
+    # module-level import here would close an import cycle.
+    from repro.engine.exact import ExactEngine
+    from repro.engine.spec import scenario_a_spec
+
+    return ExactEngine.kernel(scenario_a_spec(rule), n, m)
 
 
 def scenario_b_kernel(rule: SchedulingRule, n: int, m: int) -> FiniteMarkovChain:
     """Exact I_B kernel on Ω_m (removal distribution ℬ)."""
-    return _closed_kernel(rule, n, m, "bin")
+    from repro.engine.exact import ExactEngine
+    from repro.engine.spec import scenario_b_spec
+
+    return ExactEngine.kernel(scenario_b_spec(rule), n, m)
 
 
 def open_bounded_kernel(
@@ -93,40 +67,7 @@ def open_bounded_kernel(
     state), with probability ½ attempt an insertion (no-op at the cap).
     The state space is ⋃_{k=0..max_balls} Ω_k.
     """
-    n = check_positive_int("n", n)
-    max_balls = check_positive_int("max_balls", max_balls)
-    states: list[tuple[int, ...]] = []
-    for k in range(max_balls + 1):
-        states.extend(all_partitions(k, n))
-    index = {s: k for k, s in enumerate(states)}
-    size = len(states)
-    P = np.zeros((size, size), dtype=np.float64)
-    for k, s in enumerate(states):
-        v = np.array(s, dtype=np.int64)
-        m = int(v.sum())
-        # Removal half-step.
-        if m == 0:
-            P[k, k] += 0.5
-        else:
-            if removal == "ball":
-                probs = 0.5 * v.astype(np.float64) / m
-            else:
-                nonempty = int(np.searchsorted(-v, 0, side="left"))
-                probs = np.zeros(n)
-                probs[:nonempty] = 0.5 / nonempty
-            for i in range(n):
-                if probs[i] <= 0.0:
-                    continue
-                v_rm = ominus(v, i)
-                P[k, index[tuple(int(x) for x in v_rm)]] += probs[i]
-        # Insertion half-step.
-        if m >= max_balls:
-            P[k, k] += 0.5
-        else:
-            q = rule.insertion_distribution(v)
-            for j in range(n):
-                if q[j] <= 0.0:
-                    continue
-                v_in = oplus(v, j)
-                P[k, index[tuple(int(x) for x in v_in)]] += 0.5 * q[j]
-    return FiniteMarkovChain(states, P)
+    from repro.engine.exact import ExactEngine
+    from repro.engine.spec import open_spec
+
+    return ExactEngine.kernel(open_spec(rule, removal=removal, max_balls=max_balls), n)

@@ -1,0 +1,380 @@
+"""Engine-parity suite: the three engines agree on every registered spec.
+
+Three layers of agreement, from mechanical to distributional:
+
+* removal laws: ``quantile_batch`` must equal row-wise ``quantile`` and
+  both must invert the ``pmf`` CDF;
+* ExactEngine: kernels are row-stochastic for every registered spec and
+  match an independently coded legacy-style constructor on n, m ≤ 6
+  (the pre-engine per-process builders, reimplemented here as the
+  reference);
+* Scalar vs Vectorized: seeded KS test on the max-load sample at a
+  fixed horizon from identical starts — the two engines consume
+  randomness differently by design, so the check is distributional.
+
+Plus the contract edges: ADAP(χ) is rejected by the vectorized engine
+with a sequential-sampling reason, and the deprecated
+``repro.balls.batch`` import path still resolves with exactly one
+DeprecationWarning.
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+import warnings
+
+import numpy as np
+import pytest
+from scipy.stats import ks_2samp
+
+from repro.balls.load_vector import LoadVector, ominus, oplus
+from repro.balls.rules import ABKURule, AdaptiveRule, threshold_chi
+from repro.engine import (
+    BallRemoval,
+    BinRemoval,
+    ExactEngine,
+    ScalarEngine,
+    VectorizedEngine,
+    WeightedRemoval,
+    engine_support,
+    registered_specs,
+    scenario_a_spec,
+)
+from repro.engine.spec import relocation_spec
+from repro.utils.partitions import all_partitions
+
+SPECS = registered_specs()
+
+
+# ---------------------------------------------------------------------------
+# Removal-law agreement: pmf / quantile / quantile_batch
+# ---------------------------------------------------------------------------
+
+LAWS = [
+    BallRemoval(),
+    BinRemoval(),
+    WeightedRemoval(lambda load: float(load) ** 2 if load > 0 else 0.0,
+                    name="w(l^2)"),
+]
+
+
+@pytest.mark.parametrize("law", LAWS, ids=[law.name for law in LAWS])
+def test_quantile_batch_matches_scalar_quantile(law):
+    rng = np.random.default_rng(7)
+    rows = []
+    for _ in range(40):
+        v = LoadVector.random(12, 6, rng).loads
+        rows.append(v)
+    V = np.array(rows)
+    u = rng.random(V.shape[0])
+    batch = law.quantile_batch(V, u)
+    for r in range(V.shape[0]):
+        assert batch[r] == law.quantile(V[r], float(u[r]))
+
+
+@pytest.mark.parametrize("law", LAWS, ids=[law.name for law in LAWS])
+def test_quantile_inverts_pmf_cdf(law):
+    rng = np.random.default_rng(11)
+    v = LoadVector.random(9, 5, rng).loads
+    pmf = law.pmf(v)
+    assert pmf.sum() == pytest.approx(1.0)
+    # Empirical inversion at a fine uniform grid reproduces the pmf.
+    grid = (np.arange(2000) + 0.5) / 2000
+    counts = np.bincount([law.quantile(v, float(u)) for u in grid],
+                         minlength=v.shape[0])
+    assert np.abs(counts / 2000 - pmf).max() < 2e-3
+
+
+# ---------------------------------------------------------------------------
+# ExactEngine: row-stochastic on every registered spec
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", sorted(SPECS))
+def test_exact_kernel_row_stochastic(name):
+    spec = SPECS[name]
+    ok, why = ExactEngine.supports(spec)
+    assert ok, why
+    chain = ExactEngine.kernel(spec, 4, 4)
+    rows = chain.P.sum(axis=1)
+    assert np.allclose(rows, 1.0, atol=1e-12)
+    assert (chain.P >= 0).all()
+
+
+# ---------------------------------------------------------------------------
+# ExactEngine vs the legacy per-process constructors (reimplemented)
+# ---------------------------------------------------------------------------
+
+def _legacy_closed_kernel(rule, n, m, removal):
+    """The pre-engine closed-kernel construction, verbatim algorithm."""
+    states = all_partitions(m, n)
+    index = {s: k for k, s in enumerate(states)}
+    P = np.zeros((len(states), len(states)))
+    for k, s in enumerate(states):
+        v = np.array(s, dtype=np.int64)
+        if removal == "ball":
+            probs = v.astype(np.float64) / m
+        else:
+            nonempty = int(np.searchsorted(-v, 0, side="left"))
+            probs = np.zeros(n)
+            probs[:nonempty] = 1.0 / nonempty
+        for i in range(n):
+            if probs[i] <= 0.0:
+                continue
+            vstar = ominus(v, i)
+            q = rule.insertion_distribution(vstar)
+            for j in range(n):
+                if q[j] <= 0.0:
+                    continue
+                P[k, index[tuple(int(x) for x in oplus(vstar, j))]] += probs[i] * q[j]
+    return states, P
+
+
+def _legacy_open_kernel(rule, n, cap, removal):
+    """The pre-engine bounded-open construction, verbatim algorithm."""
+    states = []
+    for k in range(cap + 1):
+        states.extend(all_partitions(k, n))
+    index = {s: k for k, s in enumerate(states)}
+    P = np.zeros((len(states), len(states)))
+    for k, s in enumerate(states):
+        v = np.array(s, dtype=np.int64)
+        m = int(v.sum())
+        if m == 0:
+            P[k, k] += 0.5
+        else:
+            if removal == "ball":
+                probs = 0.5 * v.astype(np.float64) / m
+            else:
+                nonempty = int(np.searchsorted(-v, 0, side="left"))
+                probs = np.zeros(n)
+                probs[:nonempty] = 0.5 / nonempty
+            for i in range(n):
+                if probs[i] <= 0.0:
+                    continue
+                P[k, index[tuple(int(x) for x in ominus(v, i))]] += probs[i]
+        if m >= cap:
+            P[k, k] += 0.5
+        else:
+            q = rule.insertion_distribution(v)
+            for j in range(n):
+                if q[j] <= 0.0:
+                    continue
+                P[k, index[tuple(int(x) for x in oplus(v, j))]] += 0.5 * q[j]
+    return states, P
+
+
+@pytest.mark.parametrize("removal", ["ball", "bin"])
+@pytest.mark.parametrize("n,m", [(3, 4), (4, 6)])
+def test_exact_matches_legacy_closed_constructors(removal, n, m):
+    from repro.markov.exact import scenario_a_kernel, scenario_b_kernel
+
+    rule = ABKURule(2)
+    states, P = _legacy_closed_kernel(rule, n, m, removal)
+    new = (scenario_a_kernel if removal == "ball" else scenario_b_kernel)(rule, n, m)
+    assert list(new.states) == list(states)
+    assert np.allclose(new.P, P, atol=1e-14)
+
+
+@pytest.mark.parametrize("removal", ["ball", "bin"])
+def test_exact_matches_legacy_open_constructor(removal):
+    from repro.markov.exact import open_bounded_kernel
+
+    rule = ABKURule(2)
+    states, P = _legacy_open_kernel(rule, 3, 5, removal)
+    new = open_bounded_kernel(rule, 3, 5, removal=removal)
+    assert list(new.states) == list(states)
+    assert np.allclose(new.P, P, atol=1e-14)
+
+
+def test_relocation_kernel_reduces_to_scenario_a_at_p_zero():
+    rule = ABKURule(2)
+    base = ExactEngine.kernel(scenario_a_spec(rule), 4, 5)
+    reloc0 = ExactEngine.kernel(
+        relocation_spec(rule, scenario="a", p_relocate=0.0), 4, 5
+    )
+    assert np.allclose(base.P, reloc0.P, atol=1e-14)
+    # And with relocation on, mass moves but rows stay stochastic.
+    reloc = ExactEngine.kernel(
+        relocation_spec(rule, scenario="a", p_relocate=0.5), 4, 5
+    )
+    assert np.allclose(reloc.P.sum(axis=1), 1.0, atol=1e-12)
+    assert not np.allclose(reloc.P, base.P)
+
+
+def test_exact_rejects_unbounded_open():
+    from repro.engine.spec import open_spec
+
+    spec = open_spec(ABKURule(2), removal="ball", max_balls=None)
+    ok, why = ExactEngine.supports(spec)
+    assert not ok
+    assert "max_balls" in why
+    with pytest.raises(ValueError, match="max_balls"):
+        ExactEngine.kernel(spec, 3)
+
+
+# ---------------------------------------------------------------------------
+# Scalar vs Vectorized: distributional agreement (seeded KS)
+# ---------------------------------------------------------------------------
+
+def _start_for(spec, n=12, m=12):
+    if spec.kind == "open" and spec.max_balls is not None:
+        m = min(m, spec.max_balls)
+    return LoadVector.all_in_one(m, n)
+
+
+VEC_SPECS = sorted(
+    name for name, spec in SPECS.items() if VectorizedEngine.supports(spec)[0]
+)
+
+
+@pytest.mark.parametrize("name", VEC_SPECS)
+def test_scalar_vs_vectorized_ks_on_max_load(name):
+    spec = SPECS[name]
+    start = _start_for(spec)
+    horizon, replicas = 150, 200
+    scalar_max = np.empty(replicas)
+    for k in range(replicas):
+        p = ScalarEngine.make(spec, start, seed=10_000 + k)
+        p.run(horizon)
+        scalar_max[k] = float(p.loads[0])
+    bp = VectorizedEngine.make(spec, start, replicas, seed=99)
+    bp.run(horizon)
+    vec_max = bp.max_loads().astype(np.float64)
+    stat, pvalue = ks_2samp(scalar_max, vec_max)
+    assert pvalue > 0.01, (
+        f"{name}: scalar vs vectorized max-load distributions diverge "
+        f"(KS stat={stat:.3f}, p={pvalue:.4f})"
+    )
+
+
+def test_vectorized_conserves_invariants():
+    spec = SPECS["scenario_b"]
+    start = LoadVector.all_in_one(9, 7)
+    bp = VectorizedEngine.make(spec, start, 64, seed=3)
+    bp.run(100)
+    assert (bp.ball_counts() == 9).all()
+    V = bp.loads
+    assert (np.sort(V, axis=1)[:, ::-1] == V).all()  # rows stay normalized
+    assert (V >= 0).all()
+
+
+def test_vectorized_open_respects_cap():
+    spec = SPECS["open_ball"]
+    bp = VectorizedEngine.make(spec, LoadVector.all_in_one(4, 8), 64, seed=5)
+    bp.run(200)
+    assert (bp.ball_counts() <= spec.max_balls).all()
+    assert (bp.loads >= 0).all()
+
+
+def test_vectorized_relocation_counts_moves():
+    spec = SPECS["relocation"]
+    bp = VectorizedEngine.make(spec, LoadVector.all_in_one(16, 16), 32, seed=8)
+    bp.run(50)
+    assert bp.relocations > 0
+    assert (bp.ball_counts() == 16).all()
+
+
+def test_adaptive_rule_rejected_with_sequential_reason():
+    spec = SPECS["scenario_a_adap"]
+    ok, why = VectorizedEngine.supports(spec)
+    assert not ok
+    assert "sequential" in why
+    with pytest.raises(TypeError, match="sequential"):
+        VectorizedEngine.make(spec, LoadVector.all_in_one(4, 4), 8, seed=0)
+    # The support matrix agrees with the per-engine probes.
+    matrix = engine_support(spec)
+    assert matrix["scalar"][0] and matrix["exact"][0]
+    assert not matrix["vectorized"][0]
+
+
+def test_vectorized_coalescence_matches_scalar_coupling_distribution():
+    from repro.coupling.grand import (
+        coalescence_time_spec,
+        coalescence_times,
+        coalescence_times_vectorized,
+    )
+
+    spec = SPECS["scenario_a"]
+    v0 = LoadVector.all_in_one(8, 8)
+    u0 = LoadVector.balanced(8, 8)
+    scalar_times = coalescence_times(
+        coalescence_time_spec, 80, spec, v0, u0, max_steps=50_000, seed=21
+    ).astype(np.float64)
+    vec_times = coalescence_times_vectorized(
+        spec, v0, u0, 80, max_steps=50_000, seed=22
+    ).astype(np.float64)
+    assert (scalar_times > 0).all() and (vec_times > 0).all()
+    stat, pvalue = ks_2samp(scalar_times, vec_times)
+    assert pvalue > 0.01, f"coalescence-time KS stat={stat:.3f}, p={pvalue:.4f}"
+
+
+def test_grand_coupling_spec_handles_relocation_and_open():
+    from repro.coupling.grand import coalescence_time_spec
+
+    reloc = SPECS["relocation"]
+    t = coalescence_time_spec(
+        reloc, LoadVector.all_in_one(6, 6), LoadVector.balanced(6, 6),
+        max_steps=100_000, seed=4,
+    )
+    assert t > 0
+    open_spec_ = SPECS["open_ball"]
+    t2 = coalescence_time_spec(
+        open_spec_, LoadVector.all_in_one(5, 8), LoadVector([0] * 8),
+        max_steps=200_000, seed=6,
+    )
+    assert t2 > 0
+
+
+# ---------------------------------------------------------------------------
+# Deprecation shim
+# ---------------------------------------------------------------------------
+
+def test_balls_batch_shim_emits_single_deprecation_warning():
+    sys.modules.pop("repro.balls.batch", None)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        mod = importlib.import_module("repro.balls.batch")
+    dep = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+    assert len(dep) == 1
+    assert "repro.engine" in str(dep[0].message)
+    # The old name still resolves and subclasses the engine stepper.
+    from repro.engine.vectorized import VectorizedProcess
+
+    assert issubclass(mod.BatchProcess, VectorizedProcess)
+
+
+def test_import_repro_does_not_warn():
+    # The lazy re-export keeps `import repro` quiet; only touching the
+    # shim module (or the lazy attribute) warns.  Restore the module
+    # cache afterwards so class identities stay stable for other tests.
+    saved = {m: sys.modules.pop(m) for m in list(sys.modules)
+             if m == "repro" or m.startswith("repro.")}
+    try:
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            importlib.import_module("repro")
+        dep = [w for w in caught if issubclass(w.category, DeprecationWarning)
+               and "repro" in str(w.message)]
+        assert dep == []
+    finally:
+        for m in [m for m in sys.modules
+                  if m == "repro" or m.startswith("repro.")]:
+            sys.modules.pop(m)
+        sys.modules.update(saved)
+
+
+def test_legacy_batch_process_surface():
+    import repro.balls as balls
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        BatchProcess = balls.BatchProcess
+    bp = BatchProcess(ABKURule(2), LoadVector.all_in_one(6, 6), 4,
+                      scenario="b", seed=0)
+    bp.run(20)
+    assert "BatchProcess" in repr(bp)
+    assert bp.m == 6 and bp.scenario == "b"
+    with pytest.raises(TypeError, match="ABKU"):
+        BatchProcess(AdaptiveRule(threshold_chi(1, 3, 2)),
+                     LoadVector.all_in_one(4, 4), 2)
