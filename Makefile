@@ -5,14 +5,20 @@ PY ?= python
 # tier-1 command in ROADMAP.md).
 PYPATH = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-fast bench bench-quick bench-diff bench-pytest \
-	engines-check examples report report-paper verify all
+.PHONY: install test test-all test-fast bench bench-quick bench-diff \
+	bench-pytest engines-check examples report report-paper verify \
+	verify-full all
 
 install:
 	$(PY) setup.py develop
 
+# Tier 1: pyproject addopts default to -m "not slow".
 test:
 	$(PYPATH) $(PY) -m pytest tests/
+
+# Everything, including the slow tier.
+test-all:
+	$(PYPATH) $(PY) -m pytest tests/ -m ""
 
 test-fast:
 	$(PYPATH) $(PY) -m pytest tests/ -m "not slow"
@@ -47,7 +53,12 @@ report:
 report-paper:
 	$(PYPATH) $(PY) -m repro.experiments.report --scale paper --out EXPERIMENTS.md
 
+# Lemma certificates + statistical acceptance battery
+# (see docs/VERIFICATION.md).
 verify:
-	$(PYPATH) $(PY) -m repro verify
+	$(PYPATH) $(PY) -m repro verify --quick
+
+verify-full:
+	$(PYPATH) $(PY) -m repro verify --full
 
 all: test bench

@@ -1,7 +1,9 @@
 """Measurement harness: the statistics layer behind the experiments.
 
 * :mod:`repro.analysis.stats` — quantiles, bootstrap confidence
-  intervals, "w.h.p." empirical verdicts;
+  intervals, "w.h.p." empirical verdicts, and the hypothesis tests
+  (chi-square GOF, two-sample KS, Holm–Bonferroni) behind the
+  :mod:`repro.verify` acceptance battery;
 * :mod:`repro.analysis.scaling` — least-squares fits of measured times
   against candidate shapes (m·ln m, n·m², n²·ln²n, …) and power-law
   exponent estimation;
@@ -22,7 +24,13 @@ from repro.analysis.recovery_measure import (
     recovery_times_edge,
 )
 from repro.analysis.scaling import fit_power_law, fit_shape, shape_ratio_table
-from repro.analysis.stats import bootstrap_ci, summarize
+from repro.analysis.stats import (
+    bootstrap_ci,
+    chi_square_gof,
+    holm_bonferroni,
+    ks_two_sample,
+    summarize,
+)
 from repro.analysis.tv_empirical import (
     empirical_mixing_time,
     empirical_tv_curve,
@@ -34,6 +42,9 @@ __all__ = [
     "CoalescenceSweep",
     "diagnose",
     "bootstrap_ci",
+    "chi_square_gof",
+    "holm_bonferroni",
+    "ks_two_sample",
     "empirical_mixing_time",
     "empirical_tv_curve",
     "integrated_autocorrelation_time",

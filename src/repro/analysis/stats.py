@@ -4,6 +4,13 @@ The paper's statements are "with high probability"; empirically we
 report quantiles over independent replicas with bootstrap CIs so a
 bench row can say e.g. "95%-quantile of the coalescence time = 143
 (CI 131–158) ≤ Theorem 1 bound 156".
+
+The hypothesis-testing helpers at the bottom back the statistical
+acceptance battery of :mod:`repro.verify`: Pearson chi-square
+goodness-of-fit (with the standard low-expectation cell pooling),
+two-sample Kolmogorov–Smirnov, and Holm–Bonferroni step-down control
+so a whole battery of tests has a calibrated family-wise false-alarm
+rate instead of ad-hoc per-test thresholds.
 """
 
 from __future__ import annotations
@@ -14,7 +21,15 @@ import numpy as np
 
 from repro.utils.rng import SeedLike, as_generator
 
-__all__ = ["SampleSummary", "summarize", "bootstrap_ci", "fraction_below"]
+__all__ = [
+    "SampleSummary",
+    "summarize",
+    "bootstrap_ci",
+    "fraction_below",
+    "chi_square_gof",
+    "ks_two_sample",
+    "holm_bonferroni",
+]
 
 
 @dataclass(frozen=True)
@@ -85,3 +100,104 @@ def fraction_below(samples: np.ndarray, threshold: float) -> float:
     if x.size == 0:
         raise ValueError("samples must be non-empty")
     return float((x <= threshold).mean())
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis tests (the repro.verify acceptance battery)
+# ---------------------------------------------------------------------------
+
+def chi_square_gof(
+    counts: np.ndarray,
+    probs: np.ndarray,
+    *,
+    min_expected: float = 5.0,
+) -> tuple[float, int, float]:
+    """Pearson chi-square goodness-of-fit test: observed *counts* vs *probs*.
+
+    Returns ``(statistic, dof, p_value)``.  Cells whose expected count
+    falls below *min_expected* are pooled into one bucket (merged with
+    the smallest surviving cell if the pooled bucket itself stays
+    small), the textbook validity fix for sparse multinomials.  A count
+    observed in a zero-probability cell is an impossible outcome and
+    yields ``p = 0`` directly.  Degenerate inputs (fewer than two cells
+    after pooling) return ``p = 1`` — there is nothing to test.
+    """
+    obs = np.asarray(counts, dtype=np.float64)
+    p = np.asarray(probs, dtype=np.float64)
+    if obs.shape != p.shape or obs.ndim != 1:
+        raise ValueError("counts and probs must be 1-D arrays of equal length")
+    n_total = obs.sum()
+    if n_total <= 0:
+        raise ValueError("counts must contain at least one observation")
+    if (p < -1e-12).any():
+        raise ValueError("probs must be non-negative")
+    if abs(p.sum() - 1.0) > 1e-6:
+        raise ValueError(f"probs must sum to 1, got {p.sum()}")
+    if ((p <= 0.0) & (obs > 0)).any():
+        return float("inf"), 0, 0.0
+    keep = p > 0.0
+    obs, p = obs[keep], p[keep]
+    expected = p * n_total
+    order = np.argsort(expected, kind="stable")
+    obs, expected = obs[order], expected[order]
+    # Pool the low-expectation prefix into one bucket.
+    pooled = int(np.searchsorted(expected, min_expected, side="left"))
+    if pooled >= 1:
+        obs = np.concatenate(([obs[:pooled].sum()], obs[pooled:]))
+        expected = np.concatenate(([expected[:pooled].sum()], expected[pooled:]))
+        if expected[0] < min_expected and expected.size > 1:
+            obs = np.concatenate(([obs[0] + obs[1]], obs[2:]))
+            expected = np.concatenate(([expected[0] + expected[1]], expected[2:]))
+    if expected.size < 2:
+        return 0.0, 0, 1.0
+    stat = float(((obs - expected) ** 2 / expected).sum())
+    dof = int(expected.size - 1)
+    from scipy.stats import chi2
+
+    return stat, dof, float(chi2.sf(stat, dof))
+
+
+def ks_two_sample(x: np.ndarray, y: np.ndarray) -> tuple[float, float]:
+    """Two-sample Kolmogorov–Smirnov test; returns ``(statistic, p_value)``.
+
+    For discrete data (integer load trajectories) the KS p-value is
+    conservative, which is the right direction for an acceptance gate:
+    it under-rejects rather than raising false alarms.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.size == 0 or y.size == 0:
+        raise ValueError("both samples must be non-empty")
+    from scipy.stats import ks_2samp
+
+    result = ks_2samp(x, y, method="asymp")
+    return float(result.statistic), float(result.pvalue)
+
+
+def holm_bonferroni(
+    p_values: np.ndarray, *, alpha: float = 0.05
+) -> tuple[np.ndarray, np.ndarray]:
+    """Holm–Bonferroni step-down multiple-testing control.
+
+    Returns ``(rejected, adjusted)`` aligned with *p_values*: boolean
+    rejection flags and the monotone step-down adjusted p-values
+    (reject iff ``adjusted <= alpha``).  Controls the family-wise error
+    rate at *alpha* with no independence assumption — the property the
+    verification battery relies on to keep its false-alarm rate
+    calibrated across dozens of simultaneous tests.
+    """
+    p = np.asarray(p_values, dtype=np.float64)
+    if p.ndim != 1 or p.size == 0:
+        raise ValueError("p_values must be a non-empty 1-D array")
+    if (p < 0).any() or (p > 1).any():
+        raise ValueError("p-values must lie in [0, 1]")
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+    m = p.size
+    order = np.argsort(p, kind="stable")
+    adjusted = np.empty(m, dtype=np.float64)
+    running = 0.0
+    for rank, idx in enumerate(order):
+        running = max(running, min(1.0, (m - rank) * p[idx]))
+        adjusted[idx] = running
+    return adjusted <= alpha, adjusted

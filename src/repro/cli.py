@@ -8,8 +8,10 @@ Commands:
   (n, m) and ε;
 * ``experiment`` — run one experiment (E1–E15) and print its tables;
 * ``report``   — run all experiments and write EXPERIMENTS.md;
-* ``verify``   — machine-verify the paper's coupling lemmas on small
-  exhaustive domains (exits nonzero on any violation);
+* ``verify``   — certify the paper's coupling lemmas on small exhaustive
+  domains and run the statistical engine-acceptance battery
+  (``--quick``/``--full``/``--json``; the exit code ORs one bit per
+  failed certificate group, see :mod:`repro.verify`);
 * ``static``   — static allocation baseline (max load for d = 1..D);
 * ``engines``  — the spec × engine capability matrix: every registered
   :class:`~repro.engine.spec.ProcessSpec`, which execution engines
@@ -95,10 +97,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="suppress the per-experiment heartbeat/ETA lines on stderr",
     )
 
-    p = sub.add_parser("verify", help="machine-verify the coupling lemmas")
-    p.add_argument("--n", type=int, default=4)
-    p.add_argument("--m", type=int, default=4)
-    p.add_argument("--edge-n", type=int, default=5)
+    p = sub.add_parser(
+        "verify",
+        help="certify the coupling lemmas and run the engine acceptance battery",
+    )
+    mode = p.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--quick", action="store_true",
+        help="small exhaustive domains + small battery (the default)",
+    )
+    mode.add_argument(
+        "--full", action="store_true",
+        help="larger domains and a bigger statistical battery",
+    )
+    p.add_argument("--n", type=int, default=None,
+                   help="override: bins for the lemma enumerations")
+    p.add_argument("--m", type=int, default=None,
+                   help="override: balls for the lemma enumerations")
+    p.add_argument("--edge-n", type=int, default=None,
+                   help="override: vertices for the edge orientation metric")
+    p.add_argument("--seed", type=int, default=0,
+                   help="battery seed (lemma certificates are exact)")
+    p.add_argument("--json", action="store_true",
+                   help="print the certificate set as JSON instead of a table")
+    p.add_argument("--no-battery", action="store_true",
+                   help="lemma certificates only, skip the statistical battery")
+    p.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="record a run artifact + certificates.json into DIR",
+    )
 
     p = sub.add_parser("diagnose", help="mixing diagnostics of a small exact chain")
     p.add_argument("--chain", choices=("a", "b", "edge"), default="a")
@@ -303,34 +330,31 @@ def _cmd_report(args) -> int:
 
 
 def _cmd_verify(args) -> int:
-    from repro.balls.rules import ABKURule
-    from repro.balls.right_oriented import check_right_oriented
-    from repro.coupling.edge_coupling import verify_lemma_62_63
-    from repro.coupling.scenario_a_coupling import verify_corollary_42, verify_lemma_41
-    from repro.coupling.scenario_b_coupling import verify_claim_51_52, verify_claim53_facts
-    from repro.edgeorient.metric import EdgeOrientationMetric
+    from repro.verify import VerifyConfig, run_verification
 
-    rule = ABKURule(2)
-    try:
-        violations = check_right_oriented(rule, min(args.n, 3), (2, 3))
-        assert not violations, violations
-        verify_lemma_41(rule, args.n, args.m)
-        worst = verify_corollary_42(rule, args.n, args.m)
-        verify_claim_51_52(args.n, args.m)
-        verify_claim53_facts(rule, args.n, args.m)
-        metric = EdgeOrientationMetric(args.edge_n)
-        metric.check_metric()
-        metric.check_gamma_distances()
-        verify_lemma_62_63(metric)
-    except AssertionError as exc:
-        print(f"VERIFICATION FAILED: {exc}", file=sys.stderr)
-        return 1
-    print(
-        "all coupling lemmas verified: Lemma 3.4, Lemma 4.1, "
-        f"Corollary 4.2 (worst E[delta'] = {worst:.6f} = 1 - 1/m), "
-        "Claims 5.1-5.3, Claim 6.1, Lemmas 6.2/6.3"
-    )
-    return 0
+    factory = VerifyConfig.full if args.full else VerifyConfig.quick
+    overrides = {"seed": args.seed, "battery": not args.no_battery, "out": args.out}
+    for key in ("n", "m", "edge_n"):
+        value = getattr(args, key)
+        if value is not None:
+            overrides[key] = value
+    result = run_verification(factory(**overrides))
+    if args.json:
+        print(result.to_json(), end="")
+    else:
+        print(result.table())
+        if result.passed:
+            print("\nall certificates passed")
+        else:
+            failed = ", ".join(
+                c.name for c in result.certificates if not c.passed
+            )
+            print(
+                f"\nVERIFICATION FAILED ({failed}); exit code "
+                f"{result.exit_code}",
+                file=sys.stderr,
+            )
+    return result.exit_code
 
 
 def _cmd_static(args) -> int:

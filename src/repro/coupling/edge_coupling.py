@@ -35,6 +35,7 @@ __all__ = [
     "apply_greedy_move",
     "coupled_step_edge",
     "exact_expected_delta_edge",
+    "iter_coupled_expectations_edge",
     "verify_lemma_62_63",
 ]
 
@@ -175,6 +176,17 @@ def exact_expected_delta_edge(
                 total += metric.delta(xs, ys)
                 count += 1
     return total / count
+
+
+def iter_coupled_expectations_edge(metric: EdgeOrientationMetric):
+    """Enumerable coupling-step API: every Γ pair with its exact E[Δ*].
+
+    Yields ``(x, y, dist, expected_after)`` for each pair in Γ — the
+    inputs the Lemma 6.2/6.3 certificates of :mod:`repro.verify` reduce
+    to drift margins and a measured contraction factor.
+    """
+    for x, y, dist in metric.gamma_pairs():
+        yield x, y, dist, exact_expected_delta_edge(metric, x, y)
 
 
 def verify_lemma_62_63(

@@ -18,11 +18,13 @@ drift into a multiplicative factor).
 from __future__ import annotations
 
 import math
+from typing import Iterable
 
 __all__ = [
     "path_coupling_bound",
     "path_coupling_bound_zero_rate",
     "additive_to_multiplicative",
+    "empirical_contraction",
 ]
 
 
@@ -81,3 +83,28 @@ def additive_to_multiplicative(drift: float, gamma_max_distance: float) -> float
     if gamma_max_distance < drift:
         raise ValueError("gamma_max_distance must be >= drift")
     return 1.0 - drift / gamma_max_distance
+
+
+def empirical_contraction(pairs: Iterable[tuple[float, float]]) -> float:
+    """Measured contraction factor β over enumerated coupled pairs.
+
+    Each element is ``(expected_after, dist_before)`` for one Γ pair —
+    e.g. the output of the enumerable coupling-step APIs
+    (:func:`repro.coupling.scenario_a_coupling.iter_coupled_laws_a` and
+    friends) reduced to E[Δ'].  Returns the worst ratio
+    ``max E[Δ'] / Δ`` — the β the certificates of :mod:`repro.verify`
+    report next to the paper's predicted bound, and the ρ to feed
+    :func:`path_coupling_bound` when it is < 1.
+    """
+    worst = 0.0
+    seen = False
+    for expected_after, dist_before in pairs:
+        if dist_before <= 0:
+            raise ValueError(
+                f"Γ pairs must be at positive distance, got {dist_before}"
+            )
+        worst = max(worst, float(expected_after) / float(dist_before))
+        seen = True
+    if not seen:
+        raise ValueError("no coupled pairs supplied")
+    return worst

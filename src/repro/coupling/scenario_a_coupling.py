@@ -33,6 +33,7 @@ __all__ = [
     "exact_joint_outcomes_a",
     "expected_delta_a",
     "iter_adjacent_pairs",
+    "iter_coupled_laws_a",
     "verify_lemma_41",
     "verify_corollary_42",
 ]
@@ -152,6 +153,30 @@ def iter_adjacent_pairs(n: int, m: int) -> Iterator[tuple[np.ndarray, np.ndarray
         for u in states:
             if delta_distance(v, u) == 1:
                 yield v, u
+
+
+def iter_coupled_laws_a(
+    rule: SchedulingRule,
+    n: int,
+    m: int,
+    *,
+    canonical_only: bool = False,
+) -> Iterator[
+    tuple[np.ndarray, np.ndarray, dict[tuple[tuple[int, ...], tuple[int, ...]], float]]
+]:
+    """Enumerable coupling-step API: every adjacent pair with its joint law.
+
+    Yields ``(v, u, law)`` for each adjacent pair in Ω_m, where *law* is
+    the exact joint distribution of the §4 coupled phase (the output of
+    :func:`exact_joint_outcomes_a`).  ``canonical_only`` skips the
+    swapped orientation of each unordered pair (the joint law is
+    symmetric, so the lemma certificates of :mod:`repro.verify` check
+    each unordered pair once).
+    """
+    for v, u in iter_adjacent_pairs(n, m):
+        if canonical_only and split_adjacent_pair(v, u)[2]:
+            continue
+        yield v, u, exact_joint_outcomes_a(rule, v, u)
 
 
 def verify_lemma_41(rule: SchedulingRule, n: int, m: int) -> None:

@@ -43,6 +43,7 @@ __all__ = [
     "coupled_step_b",
     "exact_joint_outcomes_b",
     "expected_delta_b",
+    "iter_coupled_laws_b",
     "verify_claim_51_52",
     "verify_claim53_facts",
 ]
@@ -157,6 +158,26 @@ def expected_delta_b(rule: SchedulingRule, v: np.ndarray, u: np.ndarray) -> floa
         p * delta_distance(np.array(a, dtype=np.int64), np.array(b, dtype=np.int64))
         for (a, b), p in law.items()
     )
+
+
+def iter_coupled_laws_b(
+    rule: SchedulingRule,
+    n: int,
+    m: int,
+    *,
+    canonical_only: bool = True,
+):
+    """Enumerable coupling-step API: adjacent pairs with their §5 joint law.
+
+    Yields ``(v, u, law)`` with *law* from :func:`exact_joint_outcomes_b`.
+    Defaults to canonical orientation only (v = u + e_λ − e_δ, λ < δ),
+    which is how the §5 claims are stated and how the lemma certificates
+    of :mod:`repro.verify` enumerate them.
+    """
+    for v, u in iter_adjacent_pairs(n, m):
+        if canonical_only and split_adjacent_pair(v, u)[2]:
+            continue
+        yield v, u, exact_joint_outcomes_b(rule, v, u)
 
 
 def verify_claim_51_52(n: int, m: int, *, tol: float = 1e-9) -> None:

@@ -87,6 +87,40 @@ def _relocation_mix(
             out_row[k0] += mass * p * pt
 
 
+def _open_phase_distribution(
+    spec: ProcessSpec,
+    v: np.ndarray,
+    cap: int,
+    index: dict,
+    out_row: np.ndarray,
+) -> None:
+    """Accumulate the one-step open-system distribution from *v* into *out_row*."""
+    n = v.shape[0]
+    m = int(v.sum())
+    # Removal half-step (no-op when empty).
+    if m == 0:
+        out_row[index[tuple(int(x) for x in v)]] += 0.5
+    else:
+        pmf = spec.removal.pmf(v)
+        for i in range(n):
+            p_rm = float(pmf[i])
+            if p_rm <= 0.0:
+                continue
+            v_rm = ominus(v, i)
+            out_row[index[tuple(int(x) for x in v_rm)]] += 0.5 * p_rm
+    # Insertion half-step (no-op at the cap).
+    if m >= cap:
+        out_row[index[tuple(int(x) for x in v)]] += 0.5
+    else:
+        q = spec.rule.insertion_distribution(v)
+        for j in range(n):
+            p_in = float(q[j])
+            if p_in <= 0.0:
+                continue
+            v_in = oplus(v, j)
+            out_row[index[tuple(int(x) for x in v_in)]] += 0.5 * p_in
+
+
 class ExactEngine:
     """Dense-kernel engine over enumerated partition state spaces."""
 
@@ -98,6 +132,55 @@ class ExactEngine:
         if spec.kind == "open" and spec.max_balls is None:
             return False, "unbounded open system: set max_balls for a finite ⋃Ω_k"
         return True, "dense kernel on enumerated partitions"
+
+    @staticmethod
+    def state_space(spec: ProcessSpec, n: int, m: int | None = None) -> list[tuple[int, ...]]:
+        """The enumerated state space of *spec* on n bins (kernel row order).
+
+        Closed specs: Ω_m for the given ball count *m*.  Open specs:
+        ⋃_{k ≤ max_balls} Ω_k (the cap comes from the spec; *m* is
+        ignored).
+        """
+        ok, why = ExactEngine.supports(spec)
+        if not ok:
+            raise ValueError(f"spec {spec.name!r} has no finite state space: {why}")
+        n = check_positive_int("n", n)
+        if spec.kind == "open":
+            states: list[tuple[int, ...]] = []
+            for k in range(int(spec.max_balls) + 1):
+                states.extend(all_partitions(k, n))
+            return states
+        if m is None:
+            raise ValueError("closed specs need the ball count m")
+        return all_partitions(check_positive_int("m", m), n)
+
+    @staticmethod
+    def transition_row(
+        spec: ProcessSpec, v: np.ndarray | list | tuple
+    ) -> tuple[list[tuple[int, ...]], np.ndarray]:
+        """Kernel-extraction hook: the exact one-step law out of state *v*.
+
+        Returns ``(states, row)`` where *states* is the enumerated state
+        space (see :meth:`state_space`) and *row* the transition
+        distribution from *v* aligned with it — computed without
+        building the full |Ω| × |Ω| kernel.  This is what the
+        statistical battery of :mod:`repro.verify` compares engine
+        one-step samples against.
+        """
+        v = np.asarray(v, dtype=np.int64)
+        n = v.shape[0]
+        m = int(v.sum())
+        states = ExactEngine.state_space(spec, n, m if spec.kind == "closed" else None)
+        index = {s: k for k, s in enumerate(states)}
+        key = tuple(int(x) for x in v)
+        if key not in index:
+            raise ValueError(f"state {key} is not normalized / not in the state space")
+        row = np.zeros(len(states), dtype=np.float64)
+        if spec.kind == "open":
+            _open_phase_distribution(spec, v, int(spec.max_balls), index, row)
+        else:
+            _phase_distribution(spec, v, index, row)
+        return states, row
 
     @staticmethod
     def kernel(spec: ProcessSpec, n: int, m: int | None = None) -> FiniteMarkovChain:
@@ -126,34 +209,11 @@ class ExactEngine:
     @staticmethod
     def _open_kernel(spec: ProcessSpec, n: int) -> FiniteMarkovChain:
         cap = int(spec.max_balls)  # supports() guaranteed it is set
-        states: list[tuple[int, ...]] = []
-        for k in range(cap + 1):
-            states.extend(all_partitions(k, n))
+        states = ExactEngine.state_space(spec, n)
         index = {s: k for k, s in enumerate(states)}
         P = np.zeros((len(states), len(states)), dtype=np.float64)
         for k, s in enumerate(states):
-            v = np.array(s, dtype=np.int64)
-            m = int(v.sum())
-            # Removal half-step (no-op when empty).
-            if m == 0:
-                P[k, k] += 0.5
-            else:
-                pmf = spec.removal.pmf(v)
-                for i in range(n):
-                    p_rm = float(pmf[i])
-                    if p_rm <= 0.0:
-                        continue
-                    v_rm = ominus(v, i)
-                    P[k, index[tuple(int(x) for x in v_rm)]] += 0.5 * p_rm
-            # Insertion half-step (no-op at the cap).
-            if m >= cap:
-                P[k, k] += 0.5
-            else:
-                q = spec.rule.insertion_distribution(v)
-                for j in range(n):
-                    p_in = float(q[j])
-                    if p_in <= 0.0:
-                        continue
-                    v_in = oplus(v, j)
-                    P[k, index[tuple(int(x) for x in v_in)]] += 0.5 * p_in
+            _open_phase_distribution(
+                spec, np.array(s, dtype=np.int64), cap, index, P[k]
+            )
         return FiniteMarkovChain(states, P)

@@ -33,6 +33,7 @@ from repro.balls.process import DynamicAllocationProcess
 from repro.engine.spec import BallRemoval, BinRemoval, ProcessSpec
 from repro.utils.fenwick import FenwickTree
 from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_positive_int
 
 __all__ = ["SpecProcess", "OpenSpecProcess", "ScalarEngine"]
 
@@ -231,3 +232,29 @@ class ScalarEngine:
         if spec.kind == "open":
             return OpenSpecProcess(spec, state, seed=seed)
         return SpecProcess(spec, state, seed=seed)
+
+    @staticmethod
+    def sample_transitions(
+        spec: ProcessSpec,
+        state: Union[LoadVector, np.ndarray, list],
+        draws: int,
+        *,
+        steps: int = 1,
+        seed: SeedLike = None,
+    ) -> list[tuple[int, ...]]:
+        """Statistical-acceptance hook: *draws* i.i.d. end states.
+
+        Each draw restarts a fresh simulator at *state*, advances it
+        *steps* phases, and reads the normalized end state; all draws
+        share one RNG stream, so the whole batch is reproducible from
+        one seed.  The chi-square battery of :mod:`repro.verify`
+        compares these against :meth:`ExactEngine.transition_row`.
+        """
+        draws = check_positive_int("draws", draws)
+        rng = as_generator(seed)
+        out: list[tuple[int, ...]] = []
+        for _ in range(draws):
+            proc = ScalarEngine.make(spec, state, seed=rng)
+            proc.run(steps)
+            out.append(tuple(int(x) for x in proc.loads))
+        return out

@@ -300,3 +300,23 @@ class VectorizedEngine:
     ) -> VectorizedProcess:
         """Instantiate the (R, n) batch simulator for *spec*."""
         return VectorizedProcess(spec, start, replicas, seed=seed)
+
+    @staticmethod
+    def sample_transitions(
+        spec: ProcessSpec,
+        state: Union[LoadVector, np.ndarray, list],
+        draws: int,
+        *,
+        steps: int = 1,
+        seed: SeedLike = None,
+    ) -> list[tuple[int, ...]]:
+        """Statistical-acceptance hook: *draws* i.i.d. end states.
+
+        Runs *draws* as independent replicas of one batch process for
+        *steps* phases and reads the per-replica end rows.  The
+        chi-square battery of :mod:`repro.verify` compares these
+        against :meth:`ExactEngine.transition_row`.
+        """
+        proc = VectorizedProcess(spec, state, draws, seed=seed)
+        proc.run(steps)
+        return [tuple(int(x) for x in row) for row in proc.loads]

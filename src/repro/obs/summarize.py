@@ -90,6 +90,27 @@ def _profile_table(artifact: RunArtifact) -> Table | None:
     return t
 
 
+def _certificate_table(artifact: RunArtifact) -> Table | None:
+    certs = [e for e in artifact.events if e.get("type") == "certificate"]
+    if not certs:
+        return None
+    t = Table(
+        ["status", "certificate", "checked", "violations", "measured vs paper"],
+        title="lemma certificates & acceptance battery",
+    )
+    for e in certs:
+        t.add_row(
+            [
+                "PASS" if e.get("passed") else "FAIL",
+                e.get("name", "?"),
+                e.get("checked", 0),
+                e.get("violations", 0),
+                e.get("headline", ""),
+            ]
+        )
+    return t
+
+
 def _warnings(artifact: RunArtifact) -> list[str]:
     warnings = []
     if artifact.corrupt_lines:
@@ -115,6 +136,9 @@ def render_artifact(artifact: RunArtifact) -> str:
             head.append(f"  {key}: {meta[key]}")
     head.extend(f"  {w}" for w in _warnings(artifact))
     parts = ["\n".join(head)]
+    certs = _certificate_table(artifact)
+    if certs is not None:
+        parts.append(certs.render())
     stage = _stage_table(artifact)
     if stage is not None:
         parts.append(stage.render())

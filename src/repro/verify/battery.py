@@ -1,0 +1,247 @@
+"""Statistical acceptance battery over the spec × engine matrix.
+
+Every registered spec is run on every engine that supports it and
+compared against ground truth, with one p-value per comparison and
+family-wise error controlled by Holm–Bonferroni:
+
+* **one-step chi-square** — engine samples of a single phase from a
+  handful of start states vs the exact transition row
+  (:meth:`repro.engine.exact.ExactEngine.transition_row`);
+* **KS two-sample** — scalar vs vectorized max-load distributions after
+  a multi-step run (the two samplers consume randomness differently, so
+  agreement is distributional, not bitwise);
+* **stationary chi-square** — long-run engine samples vs the stationary
+  law of the exact kernel (:func:`repro.markov.stationary.stationary_distribution`),
+  run past the chain's mixing time so the bias is far below sampling
+  noise.
+
+Seeding is a deterministic :class:`numpy.random.SeedSequence` spawn in
+test-enumeration order, so the whole battery is byte-reproducible from
+one seed.  The injectable ``samplers`` map lets tests substitute a
+deliberately broken engine and assert the battery rejects it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.stats import chi_square_gof, holm_bonferroni, ks_two_sample
+from repro.engine.exact import ExactEngine
+from repro.engine.registry import registered_specs
+from repro.engine.scalar import ScalarEngine
+from repro.engine.spec import ProcessSpec
+from repro.engine.vectorized import VectorizedEngine
+from repro.markov.stationary import stationary_distribution
+from repro.verify.certificates import Certificate
+
+__all__ = ["BatteryConfig", "default_samplers", "run_battery"]
+
+
+@dataclass(frozen=True)
+class BatteryConfig:
+    """Sizes and thresholds of one battery run."""
+
+    n: int = 3
+    m: int = 3
+    draws: int = 400
+    ks_replicas: int = 200
+    ks_steps: int = 25
+    stationary_replicas: int = 300
+    stationary_steps: int = 50
+    alpha: float = 0.01
+    seed: int = 0
+
+    @classmethod
+    def quick(cls, *, seed: int = 0) -> "BatteryConfig":
+        return cls(seed=seed)
+
+    @classmethod
+    def full(cls, *, seed: int = 0) -> "BatteryConfig":
+        return cls(
+            draws=2000,
+            ks_replicas=1000,
+            ks_steps=50,
+            stationary_replicas=1500,
+            stationary_steps=80,
+            seed=seed,
+        )
+
+
+def default_samplers() -> dict:
+    """Engine name → transition-sampling hook (the real engines)."""
+    return {
+        "scalar": ScalarEngine.sample_transitions,
+        "vectorized": VectorizedEngine.sample_transitions,
+    }
+
+
+def _start_states(states: list[tuple[int, ...]]) -> list[tuple[int, ...]]:
+    """A small spread of start states: first, middle, last of the space."""
+    picks = {0, len(states) // 2, len(states) - 1}
+    return [states[i] for i in sorted(picks)]
+
+
+def _counts(samples: list[tuple[int, ...]], index: dict) -> np.ndarray:
+    counts = np.zeros(len(index), dtype=np.int64)
+    for s in samples:
+        if s not in index:
+            raise AssertionError(f"engine produced out-of-space state {s}")
+        counts[index[s]] += 1
+    return counts
+
+
+def _supports_vectorized(spec: ProcessSpec) -> bool:
+    return VectorizedEngine.supports(spec)[0]
+
+
+def run_battery(
+    config: BatteryConfig,
+    *,
+    specs: dict[str, ProcessSpec] | None = None,
+    samplers: dict | None = None,
+) -> Certificate:
+    """Run the acceptance battery; returns its certificate.
+
+    The certificate's ``cases`` list holds one record per statistical
+    test (spec, engine, kind, start state, p-value, Holm-adjusted
+    p-value, rejected flag); ``passed`` is True iff Holm–Bonferroni at
+    ``config.alpha`` rejects nothing.
+    """
+    specs = dict(specs) if specs is not None else registered_specs()
+    samplers = dict(samplers) if samplers is not None else default_samplers()
+    cases: list[dict] = []
+    root = np.random.SeedSequence(config.seed)
+
+    def next_seed() -> np.random.SeedSequence:
+        # One child per test, spawned in enumeration order: determinism
+        # does not depend on how many draws each test consumes.
+        return root.spawn(1)[0]
+
+    try:
+        for name in sorted(specs):
+            spec = specs[name]
+            states = ExactEngine.state_space(
+                spec, config.n, config.m if spec.kind == "closed" else None
+            )
+            index = {s: k for k, s in enumerate(states)}
+            engines = ["scalar"]
+            if _supports_vectorized(spec) and "vectorized" in samplers:
+                engines.append("vectorized")
+            engines = [e for e in engines if e in samplers]
+
+            # One-step chi-square per engine per start state.
+            for start in _start_states(states):
+                _, row = ExactEngine.transition_row(spec, start)
+                for engine in engines:
+                    samples = samplers[engine](
+                        spec, start, config.draws, steps=1, seed=next_seed()
+                    )
+                    stat, dof, p = chi_square_gof(_counts(samples, index), row)
+                    cases.append(
+                        {
+                            "kind": "chi2_onestep",
+                            "spec": name,
+                            "engine": engine,
+                            "state": list(start),
+                            "p": p,
+                        }
+                    )
+
+            # KS two-sample on the max load after a multi-step run.
+            if len(engines) == 2:
+                start = states[-1]
+                x = samplers["scalar"](
+                    spec, start, config.ks_replicas,
+                    steps=config.ks_steps, seed=next_seed(),
+                )
+                y = samplers["vectorized"](
+                    spec, start, config.ks_replicas,
+                    steps=config.ks_steps, seed=next_seed(),
+                )
+                _, p = ks_two_sample(
+                    np.array([s[0] for s in x], dtype=np.float64),
+                    np.array([s[0] for s in y], dtype=np.float64),
+                )
+                cases.append(
+                    {
+                        "kind": "ks_max_load",
+                        "spec": name,
+                        "engine": "scalar|vectorized",
+                        "state": list(start),
+                        "p": p,
+                    }
+                )
+
+            # Stationary chi-square on the preferred engine, run far
+            # past the chain's mixing time.
+            kernel = ExactEngine.kernel(
+                spec, config.n, config.m if spec.kind == "closed" else None
+            )
+            pi = stationary_distribution(kernel)
+            engine = engines[-1]
+            start = states[0]
+            samples = samplers[engine](
+                spec, start, config.stationary_replicas,
+                steps=config.stationary_steps, seed=next_seed(),
+            )
+            stat, dof, p = chi_square_gof(_counts(samples, index), pi)
+            cases.append(
+                {
+                    "kind": "chi2_stationary",
+                    "spec": name,
+                    "engine": engine,
+                    "state": list(start),
+                    "p": p,
+                }
+            )
+    except Exception as exc:  # noqa: BLE001 - surface as a failed certificate
+        return Certificate(
+            name="battery",
+            title="statistical engine-acceptance battery",
+            group="battery",
+            passed=False,
+            checked=len(cases),
+            violations=1,
+            domain={"n": config.n, "m": config.m, "seed": config.seed},
+            detail=f"{type(exc).__name__}: {exc}",
+            cases=cases,
+        )
+
+    p_values = np.array([c["p"] for c in cases], dtype=np.float64)
+    rejected, adjusted = holm_bonferroni(p_values, alpha=config.alpha)
+    for c, rej, adj in zip(cases, rejected, adjusted):
+        c["rejected"] = bool(rej)
+        c["p_adjusted"] = float(adj)
+    n_rejected = int(rejected.sum())
+    worst = cases[int(np.argmin(adjusted))] if cases else None
+    return Certificate(
+        name="battery",
+        title="statistical engine-acceptance battery",
+        group="battery",
+        passed=n_rejected == 0,
+        checked=len(cases),
+        violations=n_rejected,
+        domain={
+            "n": config.n,
+            "m": config.m,
+            "seed": config.seed,
+            "draws": config.draws,
+            "alpha": config.alpha,
+            "specs": sorted(specs),
+        },
+        measured={"min_p_adjusted": float(adjusted.min()) if cases else 1.0},
+        bounds={"alpha": config.alpha},
+        headline=(
+            f"{len(cases)} tests, Holm-Bonferroni alpha={config.alpha:g}: "
+            f"{n_rejected} rejected (min adj. p = "
+            f"{float(adjusted.min()) if cases else 1.0:.3g})"
+        ),
+        detail=(
+            ""
+            if n_rejected == 0 or worst is None
+            else f"worst: {worst['kind']} {worst['spec']} on {worst['engine']}"
+        ),
+        cases=cases,
+    )

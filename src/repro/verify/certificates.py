@@ -1,0 +1,138 @@
+"""Machine-checkable certificates for the paper's lemmas and the engines.
+
+A :class:`Certificate` is the auditable record of one verification
+unit — an exhaustively enumerated coupling lemma (Sections 3–6) or the
+statistical acceptance battery over the engine matrix.  It carries the
+domain it was checked on, the number of cases examined, the measured
+quantities (the empirical contraction factor β, coalescence rate α,
+worst L1 expansion, …) next to the paper's predicted bounds, and a
+zero-violation flag.
+
+A :class:`CertificateSet` aggregates certificates into one verdict:
+
+* ``exit_code`` ORs one bit per *failed* group (see :data:`EXIT_BITS`),
+  so callers can tell from the process status which lemma family or
+  battery failed;
+* ``to_json()`` is byte-deterministic for a fixed config and seed
+  (sorted keys, fixed float repr, no timestamps) — the seed-discipline
+  regression test pins two runs to identical bytes;
+* ``table()`` renders the human summary with β printed alongside the
+  paper's bound.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+from repro.utils.tables import Table
+
+__all__ = ["EXIT_BITS", "Certificate", "CertificateSet"]
+
+#: Exit-code bit per certificate group: the CLI exits with the OR of
+#: the bits of failed groups (0 = every certificate passed).
+EXIT_BITS = {
+    "lemma33": 1,  # Def 3.4 / Lemmas 3.3–3.4: right-oriented insertion
+    "lemma41": 2,  # Lemma 4.1 / Corollary 4.2: scenario A coupling
+    "claim53": 4,  # Claims 5.1–5.3: scenario B coupling
+    "edge6263": 8,  # Lemmas 6.2–6.3: edge orientation coupling
+    "battery": 16,  # statistical engine-acceptance battery
+}
+
+
+@dataclass
+class Certificate:
+    """One verification unit's auditable result.
+
+    ``measured`` holds the observed quantities, ``bounds`` the paper's
+    predictions for the same keys, and ``headline`` the one-line
+    "β = … ≤ … (paper)" comparison shown in tables and obs events.
+    """
+
+    name: str
+    title: str
+    group: str
+    passed: bool
+    checked: int
+    violations: int
+    domain: dict = field(default_factory=dict)
+    measured: dict = field(default_factory=dict)
+    bounds: dict = field(default_factory=dict)
+    headline: str = ""
+    detail: str = ""
+    cases: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.group not in EXIT_BITS:
+            raise ValueError(
+                f"unknown certificate group {self.group!r}; "
+                f"choose from {sorted(EXIT_BITS)}"
+            )
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def event(self) -> dict:
+        """The observability event emitted into a run's events.jsonl."""
+        return {
+            "type": "certificate",
+            "name": self.name,
+            "group": self.group,
+            "passed": self.passed,
+            "checked": self.checked,
+            "violations": self.violations,
+            "headline": self.headline,
+        }
+
+
+@dataclass
+class CertificateSet:
+    """All certificates of one verification run plus its config."""
+
+    certificates: list[Certificate]
+    config: dict = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        return all(c.passed for c in self.certificates)
+
+    @property
+    def exit_code(self) -> int:
+        """OR of :data:`EXIT_BITS` over failed groups (0 iff all passed)."""
+        code = 0
+        for c in self.certificates:
+            if not c.passed:
+                code |= EXIT_BITS[c.group]
+        return code
+
+    def to_json(self) -> str:
+        """Byte-deterministic JSON (fixed config + seed ⇒ fixed bytes)."""
+        doc = {
+            "config": self.config,
+            "passed": self.passed,
+            "exit_code": self.exit_code,
+            "certificates": [c.to_dict() for c in self.certificates],
+        }
+        return json.dumps(doc, sort_keys=True, indent=2) + "\n"
+
+    def write(self, path: str) -> None:
+        with open(path, "w") as f:
+            f.write(self.to_json())
+
+    def table(self) -> str:
+        """Human summary: one row per certificate, β next to the bound."""
+        t = Table(
+            ["status", "certificate", "checked", "violations", "measured vs paper"],
+            title="lemma certificates & acceptance battery",
+        )
+        for c in self.certificates:
+            t.add_row(
+                [
+                    "PASS" if c.passed else "FAIL",
+                    c.name,
+                    c.checked,
+                    c.violations,
+                    c.headline or c.detail,
+                ]
+            )
+        return t.render()

@@ -1,0 +1,136 @@
+"""Branch coverage for the Path Coupling calculators and the two-phase run.
+
+The error paths of :mod:`repro.coupling.lemma` (invalid ε, ρ, D, α,
+drift) and :mod:`repro.coupling.two_phase` (mismatched shapes, nonzero
+discrepancy sums, zero burn-in, equal starts, step cap) were previously
+untested; the lemma certificates of :mod:`repro.verify` lean on these
+calculators, so their contracts are pinned here with hand-computed
+values.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.coupling.lemma import (
+    additive_to_multiplicative,
+    empirical_contraction,
+    path_coupling_bound,
+    path_coupling_bound_zero_rate,
+)
+from repro.coupling.two_phase import TwoPhaseResult, two_phase_coalescence_edge
+
+
+class TestPathCouplingBound:
+    def test_hand_computed_value(self):
+        # rho = 1/2, D = 4, eps = 1/4: ceil(ln(16) / (1/2)) = ceil(5.545) = 6
+        assert path_coupling_bound(0.5, 4, 0.25) == 6
+
+    def test_rho_zero_is_valid(self):
+        assert path_coupling_bound(0.0, 2, 0.5) == math.ceil(math.log(4))
+
+    @pytest.mark.parametrize("eps", [0.0, 1.0, -0.5, 2.0])
+    def test_rejects_eps_outside_unit_interval(self, eps):
+        with pytest.raises(ValueError, match="eps"):
+            path_coupling_bound(0.5, 4, eps)
+
+    @pytest.mark.parametrize("rho", [-0.1, 1.0, 1.5])
+    def test_rejects_non_contracting_rho(self, rho):
+        with pytest.raises(ValueError, match="rho"):
+            path_coupling_bound(rho, 4)
+
+    def test_rejects_small_diameter(self):
+        with pytest.raises(ValueError, match="diameter"):
+            path_coupling_bound(0.5, 0.5)
+
+
+class TestPathCouplingBoundZeroRate:
+    def test_hand_computed_value(self):
+        # alpha = 1, D = 1, eps = 1/4: ceil(e) * ceil(ln 4) = 3 * 2 = 6
+        assert path_coupling_bound_zero_rate(1.0, 1, 0.25) == 6
+
+    @pytest.mark.parametrize("alpha", [0.0, -0.2, 1.5])
+    def test_rejects_bad_alpha(self, alpha):
+        with pytest.raises(ValueError, match="alpha"):
+            path_coupling_bound_zero_rate(alpha, 4)
+
+    def test_rejects_small_diameter(self):
+        with pytest.raises(ValueError, match="diameter"):
+            path_coupling_bound_zero_rate(0.5, 0.0)
+
+    def test_rejects_bad_eps(self):
+        with pytest.raises(ValueError, match="eps"):
+            path_coupling_bound_zero_rate(0.5, 4, 1.0)
+
+
+class TestAdditiveToMultiplicative:
+    def test_hand_computed_value(self):
+        # drift 1/6 over Gamma distances <= 3: rho = 1 - 1/18
+        assert additive_to_multiplicative(1.0 / 6.0, 3.0) == pytest.approx(
+            1.0 - 1.0 / 18.0
+        )
+
+    def test_rejects_nonpositive_drift(self):
+        with pytest.raises(ValueError, match="drift"):
+            additive_to_multiplicative(0.0, 3.0)
+
+    def test_rejects_distance_below_drift(self):
+        with pytest.raises(ValueError, match="gamma_max_distance"):
+            additive_to_multiplicative(0.5, 0.25)
+
+
+class TestEmpiricalContraction:
+    def test_worst_ratio(self):
+        pairs = [(0.5, 1.0), (1.5, 2.0), (0.2, 1.0)]
+        assert empirical_contraction(pairs) == pytest.approx(0.75)
+
+    def test_rejects_zero_distance_pair(self):
+        with pytest.raises(ValueError, match="positive distance"):
+            empirical_contraction([(0.5, 0.0)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="no coupled pairs"):
+            empirical_contraction([])
+
+
+class TestTwoPhaseCoalescence:
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError, match="same number of vertices"):
+            two_phase_coalescence_edge([1, -1], [1, 0, -1])
+
+    def test_rejects_nonzero_sum(self):
+        with pytest.raises(ValueError, match="sum to 0"):
+            two_phase_coalescence_edge([1, 1], [1, -1])
+
+    def test_equal_starts_with_zero_burn_in(self):
+        # burn_in_factor = 0 skips phase 1 entirely; equal sorted starts
+        # coalesce before a single coupled step.
+        res = two_phase_coalescence_edge(
+            [2, 0, -2], [-2, 2, 0], burn_in_factor=0.0, seed=0
+        )
+        assert res.burn_in_steps == 0
+        assert res.coupling_steps == 0
+        assert res.total_steps == 0
+        assert res.max_disc_after_burn_in == 2
+
+    def test_step_cap_reports_minus_one(self):
+        res = two_phase_coalescence_edge(
+            [3, 0, -3], [0, 0, 0], burn_in_factor=0.0, max_steps=1, seed=0
+        )
+        assert res.coupling_steps == -1
+        assert res.total_steps == -1
+
+    def test_coalesces_and_counts_total_steps(self):
+        res = two_phase_coalescence_edge(
+            [2, -2, 0, 0], [1, -1, 0, 0], burn_in_factor=0.5, seed=3
+        )
+        assert res.coupling_steps >= 0
+        assert res.total_steps == res.burn_in_steps + res.coupling_steps
+        n = 4
+        expected_t1 = int(round(0.5 * n * n * np.log(n)))
+        assert res.burn_in_steps == expected_t1
+
+    def test_result_total_steps_property(self):
+        assert TwoPhaseResult(10, 2, 5).total_steps == 15
+        assert TwoPhaseResult(10, 2, -1).total_steps == -1

@@ -102,6 +102,7 @@ class TestEmpiricalTV:
         assert curve[0] > 0.5          # point mass far from pi
         assert curve[-1] < curve[0]    # mixing happened
 
+    @pytest.mark.statistical
     def test_empirical_vs_exact_mixing(self, abku2):
         """Empirical mixing time within a small factor of the exact one."""
         from repro.markov import exact_mixing_time

@@ -228,6 +228,7 @@ VEC_SPECS = sorted(
 )
 
 
+@pytest.mark.statistical
 @pytest.mark.parametrize("name", VEC_SPECS)
 def test_scalar_vs_vectorized_ks_on_max_load(name):
     spec = SPECS[name]
@@ -288,6 +289,7 @@ def test_adaptive_rule_rejected_with_sequential_reason():
     assert not matrix["vectorized"][0]
 
 
+@pytest.mark.statistical
 def test_vectorized_coalescence_matches_scalar_coupling_distribution():
     from repro.coupling.grand import (
         coalescence_time_spec,

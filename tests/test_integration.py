@@ -44,6 +44,7 @@ class TestSimulatorVsKernel:
         for s, c in counts.items():
             assert abs(c / trials - row[ch.index_of(s)]) < 0.03
 
+    @pytest.mark.statistical
     @pytest.mark.parametrize("scenario", ["a", "b"])
     def test_long_run_matches_stationary(self, abku2, scenario):
         """Occupation frequencies of a long run match the exact π."""
@@ -80,6 +81,7 @@ class TestEdgeSimulatorVsKernel:
         for s, c in counts.items():
             assert abs(c / trials - row[ch.index_of(s)]) < 0.03
 
+    @pytest.mark.statistical
     def test_long_run_matches_stationary(self):
         from repro.edgeorient.chain import edge_orientation_kernel
         from repro.edgeorient.greedy import EdgeOrientationProcess

@@ -50,6 +50,7 @@ class TestMajorizes:
 
 
 class TestMonotonicity:
+    @pytest.mark.slow
     @pytest.mark.parametrize("d", [1, 2, 3])
     def test_scenario_a_phase_monotone(self, d):
         """The structural fact behind monotone CFTP, checked exhaustively."""

@@ -1,0 +1,116 @@
+"""Hypothesis property tests for the RemovalLaw quantile contracts.
+
+Two properties over every removal law reachable from the spec registry,
+on randomized normalized load vectors:
+
+* ``quantile(v, u)`` is the inverse CDF of ``pmf(v)``: the returned
+  index i satisfies cdf[i−1] ≤ u < cdf[i] (up to float tolerance) and
+  has positive mass;
+* ``quantile_batch`` agrees elementwise with the scalar ``quantile``
+  for batchable laws (the contract the vectorized engine relies on).
+
+Draws landing within float tolerance of a CDF boundary are assumed
+away: there the scalar (normalized cumsum vs u) and batch
+(unnormalized cumsum vs u·total) inversions of :class:`WeightedRemoval`
+may legitimately round to different sides of the tie.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.engine import registered_specs
+
+_TOL = 1e-9
+
+# One law instance per distinct law name across the registry (ball, bin,
+# and the §7 weighted w(ℓ) = ℓ² law from custom_pressure).
+_LAWS: dict = {}
+for _name, _spec in sorted(registered_specs().items()):
+    _LAWS.setdefault(_spec.removal.name, _spec.removal)
+LAWS = sorted(_LAWS.items())
+
+
+@st.composite
+def vector_and_uniform(draw, max_n: int = 5, max_load: int = 4):
+    """A normalized descending load vector with ≥ 1 ball, plus u ∈ [0, 1)."""
+    n = draw(st.integers(2, max_n))
+    xs = draw(st.lists(st.integers(0, max_load), min_size=n, max_size=n))
+    assume(sum(xs) > 0)
+    v = np.array(sorted(xs, reverse=True), dtype=np.int64)
+    u = draw(
+        st.floats(min_value=0.0, max_value=1.0, exclude_max=True,
+                  allow_nan=False, allow_infinity=False)
+    )
+    return v, u
+
+
+@st.composite
+def matrix_and_uniforms(draw, max_rows: int = 4, max_n: int = 5, max_load: int = 4):
+    """A stack of normalized load rows (shared n) plus one uniform per row."""
+    n = draw(st.integers(2, max_n))
+    rows = draw(st.integers(1, max_rows))
+    V = []
+    for _ in range(rows):
+        xs = draw(st.lists(st.integers(0, max_load), min_size=n, max_size=n))
+        assume(sum(xs) > 0)
+        V.append(sorted(xs, reverse=True))
+    u = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0, exclude_max=True,
+                      allow_nan=False, allow_infinity=False),
+            min_size=rows, max_size=rows,
+        )
+    )
+    return np.array(V, dtype=np.int64), np.array(u, dtype=np.float64)
+
+
+def _away_from_cdf_boundaries(law, v: np.ndarray, u: float) -> bool:
+    cdf = np.cumsum(law.pmf(v))
+    return bool(np.abs(cdf - u).min() > _TOL)
+
+
+@pytest.mark.parametrize("law_name,law", LAWS, ids=[n for n, _ in LAWS])
+class TestQuantileInvertsCdf:
+    @settings(derandomize=True, max_examples=60, deadline=None)
+    @given(data=vector_and_uniform())
+    def test_quantile_is_inverse_cdf(self, law_name, law, data):
+        v, u = data
+        assume(_away_from_cdf_boundaries(law, v, u))
+        pmf = law.pmf(v)
+        cdf = np.cumsum(pmf)
+        i = law.quantile(v, u)
+        assert 0 <= i < v.shape[0]
+        assert pmf[i] > 0.0
+        assert cdf[i] >= u - _TOL
+        assert i == 0 or cdf[i - 1] <= u + _TOL
+
+    @settings(derandomize=True, max_examples=60, deadline=None)
+    @given(data=vector_and_uniform())
+    def test_pmf_is_a_distribution(self, law_name, law, data):
+        v, _ = data
+        pmf = law.pmf(v)
+        assert pmf.shape == v.shape
+        assert (pmf >= 0.0).all()
+        assert abs(float(pmf.sum()) - 1.0) < 1e-9
+        # Mass only on nonempty bins: a removal must find a ball.
+        assert (pmf[v == 0] == 0.0).all()
+
+
+@pytest.mark.parametrize("law_name,law", LAWS, ids=[n for n, _ in LAWS])
+class TestBatchMatchesScalar:
+    @settings(derandomize=True, max_examples=60, deadline=None)
+    @given(data=matrix_and_uniforms())
+    def test_quantile_batch_elementwise(self, law_name, law, data):
+        if not law.batchable:
+            pytest.skip(f"law {law_name} is not batchable")
+        V, u = data
+        for row, uu in zip(V, u):
+            assume(_away_from_cdf_boundaries(law, row, float(uu)))
+        batch = law.quantile_batch(V, u)
+        scalar = np.array(
+            [law.quantile(row, float(uu)) for row, uu in zip(V, u)],
+            dtype=np.int64,
+        )
+        np.testing.assert_array_equal(batch, scalar)

@@ -1,0 +1,249 @@
+"""Tests for the lemma-certification subsystem (repro.verify).
+
+Covers the certificate data model (exit-code bits, byte-deterministic
+JSON), the lemma certifiers on passing domains (with the measured β
+pinned against the paper's bound), detection of a deliberately broken
+rule, the seed-discipline regression (two runs, same seed →
+byte-identical certificates.json), and the CLI integration.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.balls.rules import ABKURule, SchedulingRule
+from repro.cli import main
+from repro.verify import (
+    EXIT_BITS,
+    Certificate,
+    CertificateSet,
+    VerifyConfig,
+    certify_claim_53,
+    certify_edge_lemmas,
+    certify_lemma_41,
+    certify_right_oriented,
+    run_verification,
+)
+
+
+class BrokenRule(SchedulingRule):
+    """Load-dependent rule that violates Definition 3.4 on purpose.
+
+    On unbalanced states it always picks bin 0; on balanced states it
+    follows the source.  At v = (2, 0), u = (1, 1), rs = (1,) this gives
+    D̄(v, rs) = 0 < 1 = D̄(u, Φ(rs)) with u_0 = 1 ≯ 2 = v_0 — a
+    condition (i) counterexample the certifier must find.
+    """
+
+    name = "broken"
+
+    def source_length(self, v):
+        return 1
+
+    def select_from_source(self, v, rs):
+        if v[0] != v[-1]:
+            return 0
+        return int(rs[0])
+
+    def insertion_distribution(self, v):
+        n = v.shape[0]
+        if v[0] != v[-1]:
+            out = np.zeros(n)
+            out[0] = 1.0
+            return out
+        return np.full(n, 1.0 / n)
+
+
+class MirroringRule(SchedulingRule):
+    """Rule whose coupled insertion tears adjacent pairs apart.
+
+    States with a load gap ≥ 2 follow the source; flatter states mirror
+    it (index n−1−rs[0]).  From the intermediate pair (2,0,0)/(1,1,0)
+    the coupled insertion at rs = (0,) lands on (3,0,0)/(1,1,1) —
+    distance 2 — so Lemma 4.1's Δ ≤ 1 guarantee must fail.
+    """
+
+    name = "mirroring"
+
+    def source_length(self, v):
+        return 1
+
+    def select_from_source(self, v, rs):
+        if v[0] - v[-1] >= 2:
+            return int(rs[0])
+        return int(v.shape[0] - 1 - int(rs[0]))
+
+    def insertion_distribution(self, v):
+        return np.full(v.shape[0], 1.0 / v.shape[0])
+
+
+class TestCertificateModel:
+    def _cert(self, group, passed):
+        return Certificate(
+            name=f"{group}.x", title="t", group=group, passed=passed,
+            checked=1, violations=0 if passed else 1,
+        )
+
+    def test_exit_code_ors_failed_group_bits(self):
+        cs = CertificateSet(
+            [
+                self._cert("lemma33", False),
+                self._cert("lemma41", True),
+                self._cert("claim53", False),
+                self._cert("battery", False),
+            ]
+        )
+        assert cs.exit_code == (
+            EXIT_BITS["lemma33"] | EXIT_BITS["claim53"] | EXIT_BITS["battery"]
+        )
+        assert not cs.passed
+
+    def test_exit_code_zero_when_all_pass(self):
+        cs = CertificateSet([self._cert(g, True) for g in EXIT_BITS])
+        assert cs.exit_code == 0
+        assert cs.passed
+
+    def test_exit_bits_are_distinct_powers_of_two(self):
+        bits = sorted(EXIT_BITS.values())
+        assert len(set(bits)) == len(bits)
+        assert all(b and (b & (b - 1)) == 0 for b in bits)
+
+    def test_unknown_group_rejected(self):
+        with pytest.raises(ValueError, match="unknown certificate group"):
+            Certificate(
+                name="x", title="t", group="nope", passed=True,
+                checked=0, violations=0,
+            )
+
+    def test_json_round_trip_and_table(self):
+        cs = CertificateSet([self._cert("lemma41", True)], config={"n": 3})
+        doc = json.loads(cs.to_json())
+        assert doc["passed"] is True
+        assert doc["exit_code"] == 0
+        assert doc["config"] == {"n": 3}
+        assert doc["certificates"][0]["group"] == "lemma41"
+        assert "PASS" in cs.table()
+
+
+class TestLemmaCertificates:
+    def test_lemma_41_beta_matches_paper_bound(self):
+        cert = certify_lemma_41(ABKURule(2), 4, 4)
+        assert cert.passed
+        assert cert.violations == 0
+        assert cert.checked > 0
+        # At m = 4 the scenario A contraction is exactly 1 - 1/m.
+        assert cert.measured["beta"] == pytest.approx(0.75, abs=1e-9)
+        assert cert.bounds["beta"] == pytest.approx(0.75)
+        assert "beta" in cert.headline and "1 - 1/m" in cert.headline
+
+    def test_claim_53_alpha_above_paper_bound(self):
+        cert = certify_claim_53(ABKURule(2), 3, 3)
+        assert cert.passed
+        assert cert.measured["beta"] <= 1.0 + 1e-9
+        assert cert.measured["alpha"] >= cert.bounds["alpha"] - 1e-9
+        assert cert.bounds["alpha"] == pytest.approx(1.0 / 3.0)
+
+    def test_right_oriented_certificate_passes_for_abku(self):
+        cert = certify_right_oriented(ABKURule(2), 3, (1, 2, 3))
+        assert cert.passed
+        assert cert.violations == 0
+        assert cert.measured["max_l1_expansion"] <= 0.0
+
+    def test_edge_lemmas_certificate(self):
+        cert = certify_edge_lemmas(4)
+        assert cert.passed
+        assert cert.measured["beta"] <= cert.bounds["beta"] + 1e-9
+        assert cert.measured["tau"] <= cert.bounds["tau"]
+
+    def test_broken_rule_detected_by_orientation_certificate(self):
+        cert = certify_right_oriented(BrokenRule(), 2, (2,))
+        assert not cert.passed
+        assert cert.violations > 0
+        assert cert.detail  # carries a concrete counterexample
+
+    def test_broken_coupling_detected_by_lemma_41(self):
+        cert = certify_lemma_41(MirroringRule(), 3, 3)
+        assert not cert.passed
+        assert cert.violations > 0
+
+    def test_certifier_exception_becomes_failed_certificate(self):
+        # m = 0 has no adjacent pairs: empirical_contraction raises and
+        # the guard must convert it into a FAIL, not a crash.
+        cert = certify_lemma_41(ABKURule(2), 3, 0)
+        assert not cert.passed
+        assert cert.detail
+
+
+class TestSeedDiscipline:
+    def test_quick_runs_are_byte_identical(self, tmp_path):
+        config = {"n": 3, "m": 3, "edge_n": 4, "seed": 123}
+        run_verification(VerifyConfig.quick(out=str(tmp_path / "a"), **config))
+        run_verification(VerifyConfig.quick(out=str(tmp_path / "b"), **config))
+        ja = (tmp_path / "a" / "certificates.json").read_bytes()
+        jb = (tmp_path / "b" / "certificates.json").read_bytes()
+        assert ja == jb
+        doc = json.loads(ja)
+        assert doc["passed"] is True
+        assert doc["exit_code"] == 0
+
+    def test_artifact_contains_certificate_events(self, tmp_path):
+        out = str(tmp_path / "run")
+        result = run_verification(
+            VerifyConfig.quick(n=3, m=3, edge_n=4, battery=False, out=out)
+        )
+        assert result.passed
+        events = [
+            json.loads(line)
+            for line in open(os.path.join(out, "events.jsonl"))
+        ]
+        certs = [e for e in events if e.get("type") == "certificate"]
+        assert len(certs) == len(result.certificates)
+        assert all("headline" in e for e in certs)
+        # The obs summarizer renders them as a table.
+        from repro.obs.summarize import summarize_run
+
+        report = summarize_run(out)
+        assert "lemma certificates & acceptance battery" in report
+        assert "PASS" in report
+
+    def test_no_artifacts_without_out(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        result = run_verification(
+            VerifyConfig.quick(n=3, m=3, edge_n=4, battery=False)
+        )
+        assert result.passed
+        assert os.listdir(tmp_path) == []
+
+
+class TestVerifyCli:
+    def test_json_output_parses_and_passes(self, capsys):
+        code = main(
+            ["verify", "--quick", "--json", "--no-battery",
+             "--n", "3", "--m", "3", "--edge-n", "4"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["passed"] is True
+        groups = {c["group"] for c in doc["certificates"]}
+        assert groups == {"lemma33", "lemma41", "claim53", "edge6263"}
+
+    def test_table_output_prints_beta_next_to_bound(self, capsys):
+        assert main(
+            ["verify", "--no-battery", "--n", "3", "--m", "3", "--edge-n", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "beta" in out
+        assert "1 - 1/m" in out
+
+    def test_out_writes_certificates(self, capsys, tmp_path):
+        out = str(tmp_path / "vrun")
+        assert main(
+            ["verify", "--no-battery", "--n", "3", "--m", "3",
+             "--edge-n", "4", "--out", out]
+        ) == 0
+        capsys.readouterr()
+        assert (tmp_path / "vrun" / "certificates.json").exists()
+        assert (tmp_path / "vrun" / "meta.json").exists()

@@ -1,0 +1,162 @@
+"""Tests for the statistical acceptance battery and its stats helpers.
+
+The battery itself runs seeded (deterministic spawn order), so the
+pass/fail assertions here are reproducible despite being statistical in
+nature; the deliberately broken sampler gives p-values around 1e-40,
+far beyond any seed sensitivity.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import chi_square_gof, holm_bonferroni, ks_two_sample
+from repro.balls.load_vector import ominus, oplus
+from repro.engine import registered_specs
+from repro.utils.rng import as_generator
+from repro.verify import BatteryConfig, run_battery
+
+
+class TestChiSquareGof:
+    def test_perfect_fit_has_high_p(self):
+        counts = np.array([250, 250, 250, 250])
+        probs = np.full(4, 0.25)
+        stat, dof, p = chi_square_gof(counts, probs)
+        assert stat == pytest.approx(0.0)
+        assert dof == 3
+        assert p == pytest.approx(1.0)
+
+    def test_gross_misfit_has_tiny_p(self):
+        counts = np.array([900, 50, 50])
+        probs = np.full(3, 1.0 / 3.0)
+        _, _, p = chi_square_gof(counts, probs)
+        assert p < 1e-10
+
+    def test_impossible_outcome_yields_p_zero(self):
+        stat, dof, p = chi_square_gof(
+            np.array([5, 5]), np.array([1.0, 0.0])
+        )
+        assert p == 0.0 and np.isinf(stat)
+
+    def test_single_low_expectation_cell_is_pooled(self):
+        # One cell with expectation 3.7 < 5 must be merged into its
+        # neighbour (dof drops to 1), keeping the chi2 approximation valid.
+        probs = np.array([0.0123456790, 0.4938271605, 0.4938271605])
+        _, dof, _ = chi_square_gof(np.array([12, 126, 162]), probs)
+        assert dof == 1
+
+    def test_degenerate_after_pooling_returns_p_one(self):
+        # Two cells whose pooled expectations collapse to one bucket.
+        stat, dof, p = chi_square_gof(
+            np.array([3, 1]), np.array([0.6, 0.4])
+        )
+        assert (stat, dof, p) == (0.0, 0, 1.0)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError, match="equal length"):
+            chi_square_gof(np.array([1, 2]), np.array([1.0]))
+        with pytest.raises(ValueError, match="at least one observation"):
+            chi_square_gof(np.array([0, 0]), np.array([0.5, 0.5]))
+        with pytest.raises(ValueError, match="sum to 1"):
+            chi_square_gof(np.array([1, 2]), np.array([0.6, 0.6]))
+        with pytest.raises(ValueError, match="non-negative"):
+            chi_square_gof(np.array([1, 2]), np.array([1.2, -0.2]))
+
+
+class TestKsTwoSample:
+    def test_same_distribution_high_p(self):
+        rng = np.random.default_rng(0)
+        x, y = rng.normal(size=500), rng.normal(size=500)
+        _, p = ks_two_sample(x, y)
+        assert p > 0.05
+
+    def test_shifted_distribution_low_p(self):
+        rng = np.random.default_rng(0)
+        _, p = ks_two_sample(rng.normal(size=500), rng.normal(2.0, size=500))
+        assert p < 1e-10
+
+
+class TestHolmBonferroni:
+    def test_textbook_example(self):
+        # Holm-adjusted [0.001, 0.02, 0.04] -> [0.003, 0.04, 0.04]:
+        # all three rejected at alpha = 0.05.
+        rejected, adjusted = holm_bonferroni(
+            np.array([0.001, 0.02, 0.04]), alpha=0.05
+        )
+        np.testing.assert_allclose(adjusted, [0.003, 0.04, 0.04])
+        assert rejected.all()
+
+    def test_step_down_stops_at_first_acceptance(self):
+        rejected, adjusted = holm_bonferroni(
+            np.array([0.001, 0.04, 0.03]), alpha=0.05
+        )
+        assert rejected.tolist() == [True, False, False]
+        # Monotone adjustment: later (larger) p-values never adjust below
+        # earlier ones.
+        order = np.argsort(adjusted)
+        assert (np.diff(adjusted[order]) >= 0).all()
+
+    def test_no_rejections_when_all_large(self):
+        rejected, adjusted = holm_bonferroni(np.array([0.5, 0.9]), alpha=0.05)
+        assert not rejected.any()
+        assert (adjusted <= 1.0).all()
+
+
+def _broken_sampler(spec, state, draws, *, steps=1, seed=None):
+    """Wrong law on purpose: always removes from the fullest bin."""
+    rng = as_generator(seed)
+    out = []
+    for _ in range(draws):
+        v = np.array(state, dtype=np.int64)
+        for _ in range(steps):
+            if v.sum() > 0:
+                v = ominus(v, 0)
+            v = oplus(v, int(rng.integers(0, v.shape[0])))
+        out.append(tuple(int(x) for x in v))
+    return out
+
+
+class TestBattery:
+    def test_passes_on_real_engines_subset(self):
+        specs = registered_specs()
+        subset = {k: specs[k] for k in ("scenario_a", "open_bin")}
+        cert = run_battery(BatteryConfig.quick(), specs=subset)
+        assert cert.passed
+        assert cert.group == "battery"
+        assert cert.violations == 0
+        kinds = {c["kind"] for c in cert.cases}
+        assert kinds == {"chi2_onestep", "ks_max_load", "chi2_stationary"}
+        engines = {c["engine"] for c in cert.cases if c["kind"] == "chi2_onestep"}
+        assert engines == {"scalar", "vectorized"}
+        assert all("p_adjusted" in c for c in cert.cases)
+
+    def test_broken_engine_is_detected(self):
+        specs = {"scenario_a": registered_specs()["scenario_a"]}
+        cert = run_battery(
+            BatteryConfig.quick(),
+            specs=specs,
+            samplers={"scalar": _broken_sampler},
+        )
+        assert not cert.passed
+        assert cert.violations > 0
+        assert any(c["rejected"] for c in cert.cases)
+
+    def test_same_seed_reproduces_p_values(self):
+        specs = {"scenario_b": registered_specs()["scenario_b"]}
+        config = BatteryConfig(
+            draws=120, ks_replicas=60, ks_steps=8,
+            stationary_replicas=120, stationary_steps=25, seed=7,
+        )
+        a = run_battery(config, specs=specs)
+        b = run_battery(config, specs=specs)
+        assert [c["p"] for c in a.cases] == [c["p"] for c in b.cases]
+
+    def test_sampler_exception_becomes_failed_certificate(self):
+        def exploding(spec, state, draws, *, steps=1, seed=None):
+            raise RuntimeError("sampler exploded")
+
+        specs = {"scenario_a": registered_specs()["scenario_a"]}
+        cert = run_battery(
+            BatteryConfig.quick(), specs=specs, samplers={"scalar": exploding}
+        )
+        assert not cert.passed
+        assert "sampler exploded" in cert.detail
