@@ -14,28 +14,43 @@ ratio directly (best-of timing of ``run(CHUNK)`` against a raw
 
 import time
 
+import numpy as np
 import pytest
 
 from repro import obs
 from repro.balls.load_vector import LoadVector
 from repro.balls.rules import ABKURule
 from repro.balls.scenario_a import ScenarioAProcess
+from repro.engine.spec import scenario_a_spec
+from repro.engine.vectorized import VectorizedProcess
 from repro.obs.metrics import scoped_registry
 from repro.obs.trace import Tracer
 
 N = 1024
 CHUNK = 512
+VEC_N = 256
+VEC_R = 32
+VEC_CHUNK = 256
 
 
 def _make_proc(seed=0):
     return ScenarioAProcess(ABKURule(2), LoadVector.random(N, N, seed), seed=seed)
 
 
+def _make_fleet(seed=0):
+    spec = scenario_a_spec(ABKURule(2))
+    return VectorizedProcess(
+        spec, LoadVector.random(VEC_N, VEC_N, seed), VEC_R, seed=seed
+    )
+
+
 @pytest.fixture(autouse=True)
 def _obs_off():
     obs.disable()
+    obs.set_probe_interval(0)
     yield
     obs.disable()
+    obs.set_probe_interval(0)
     obs.set_tracer(None)
     obs.set_recorder(None)
 
@@ -90,6 +105,29 @@ def test_bench_span_disabled(benchmark):
     benchmark(op)
 
 
+def test_bench_vectorized_probes_off(benchmark, tmp_path):
+    """Observed vectorized run with probes off: the pre-probe regime."""
+    proc = _make_fleet(0)
+    with obs.observe_run(str(tmp_path / "bench-run")):
+        benchmark(lambda: proc.run(VEC_CHUNK))
+
+
+def test_bench_vectorized_probes_on(benchmark, tmp_path):
+    """Observed vectorized run probed every 16 phases (fleet stats + JSONL)."""
+    proc = _make_fleet(1)
+    with obs.observe_run(str(tmp_path / "bench-run"), probe_every=16):
+        benchmark(lambda: proc.run(VEC_CHUNK))
+
+
+def test_bench_chain_probe_observe(benchmark):
+    """Micro-cost of one ChainProbe sample (streaming stats, no recorder)."""
+    from repro.obs.probes import ChainProbe
+
+    probe = ChainProbe("bench/chain")
+    loads = np.random.default_rng(0).integers(0, 8, size=N)
+    benchmark(lambda: probe.observe(1, loads))
+
+
 def _best_of(fn, repeats=7):
     best = float("inf")
     for _ in range(repeats):
@@ -127,3 +165,34 @@ def test_disabled_overhead_ratio(capsys):
             f"ratio {ratio:.4f}"
         )
     assert ratio < 1.05, f"disabled-path overhead too high: {ratio:.3f}"
+
+
+def test_probes_disabled_overhead_ratio(capsys):
+    """Probes-off vectorized throughput vs the raw step loop.
+
+    The probe branch in ``VectorizedProcess.run`` must stay zero-cost
+    when ``probe_interval() == 0`` (the default): one integer read per
+    ``run()`` call, nothing per phase.  This is the 5% acceptance gate
+    for the probe subsystem.
+    """
+    proc = _make_fleet(3)
+    proc.run(VEC_CHUNK)  # warmup
+
+    def raw():
+        step = proc.step
+        for _ in range(VEC_CHUNK):
+            step()
+
+    def guarded():
+        proc.run(VEC_CHUNK)
+
+    t_raw = _best_of(raw)
+    t_guarded = _best_of(guarded)
+    ratio = t_guarded / t_raw
+    with capsys.disabled():
+        print(
+            f"\nprobes disabled overhead: raw step loop "
+            f"{1e6 * t_raw / VEC_CHUNK:.2f} us/phase, guarded run() "
+            f"{1e6 * t_guarded / VEC_CHUNK:.2f} us/phase, ratio {ratio:.4f}"
+        )
+    assert ratio < 1.05, f"probes-disabled overhead too high: {ratio:.3f}"

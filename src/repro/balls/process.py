@@ -129,6 +129,25 @@ class DynamicAllocationProcess(ABC):
         reg.counter(f"{name}.rng_draws").inc(steps * self._obs_rng_per_phase)
         reg.counter("fact32.updates").inc(2 * steps)
 
+    def _get_probe(self):
+        """The lazily built per-step chain probe (observed runs only).
+
+        Constructed once per process with the default Theorem 1
+        max-load recovery monitor; only reached from inside the
+        ``obs.enabled()`` branch when ``probe_interval() > 0``, so the
+        probes-off path never pays the import.
+        """
+        probe = getattr(self, "_chain_probe", None)
+        if probe is None:
+            from repro.obs.probes import ChainProbe, max_load_recovery_monitor
+
+            series = f"{self._obs_name}/chain"
+            probe = ChainProbe(
+                series, monitors=(max_load_recovery_monitor(series, self.n, self.m),)
+            )
+            self._chain_probe = probe
+        return probe
+
     # -- the process ----------------------------------------------------------
 
     @abstractmethod
@@ -144,8 +163,16 @@ class DynamicAllocationProcess(ABC):
                 self.step()
             return self
         with obs.span(f"{self._obs_name}/run", steps=steps, n=self.n):
-            for _ in range(steps):
-                self.step()
+            every = obs.probe_interval()
+            if every > 0:
+                probe = self._get_probe()
+                for _ in range(steps):
+                    self.step()
+                    if self._t % every == 0:
+                        probe.observe(self._t, self._v)
+            else:
+                for _ in range(steps):
+                    self.step()
         self._obs_account(steps)
         return self
 

@@ -23,14 +23,18 @@ Commands:
   perf artifact; ``bench list`` shows what would run);
 * ``obs``      — inspect recorded perf/run artifacts:
   ``obs summarize <run-dir>`` prints the timing/convergence report,
+  ``obs watch <run-dir>`` live-tails a probed run's
+  ``timeseries.jsonl`` (sparklines + recovery-monitor events),
   ``obs diff A B`` compares two bench JSONs or run dirs with bootstrap
   CIs and improved/regressed/unchanged verdicts, and ``obs gc`` prunes
   old ``runs/<id>/`` directories (dry-run by default).
 
 Every command takes ``--seed`` for reproducibility.  ``experiment``
 additionally takes ``--trace`` / ``--metrics-out DIR`` to record a run
-artifact (``events.jsonl`` + ``meta.json``) via :mod:`repro.obs`, and
-``--profile`` to attach a cProfile capture to it.
+artifact (``events.jsonl`` + ``meta.json``) via :mod:`repro.obs`,
+``--profile`` to attach a cProfile capture to it, and
+``--probe-every K`` to stream per-step chain telemetry into
+``timeseries.jsonl`` (see :mod:`repro.obs.probes`).
 """
 
 from __future__ import annotations
@@ -86,6 +90,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", action="store_true",
         help="wrap the run in cProfile; writes profile.pstats + a top-N "
         "self-time table into the run dir (implies observability)",
+    )
+    p.add_argument(
+        "--probe-every", type=int, default=0, metavar="K",
+        help="per-step chain probes every K steps into timeseries.jsonl "
+        "(0 = off; implies observability; watch live with 'obs watch')",
     )
 
     p = sub.add_parser("report", help="run all experiments, write EXPERIMENTS.md")
@@ -186,6 +195,16 @@ def build_parser() -> argparse.ArgumentParser:
         "summarize", help="print a timing/convergence report of a run directory"
     )
     ps.add_argument("run_dir", help="run-artifact directory (e.g. runs/demo)")
+    pw = obs_sub.add_parser(
+        "watch", help="live tail + sparkline view of a probed run directory"
+    )
+    pw.add_argument("run_dir", help="run-artifact directory being written (or done)")
+    pw.add_argument("--interval", type=float, default=1.0,
+                    help="refresh period in seconds (default 1.0)")
+    pw.add_argument("--once", action="store_true",
+                    help="render a single frame and exit (no follow loop)")
+    pw.add_argument("--frames", type=int, default=None, metavar="N",
+                    help="stop after N frames even if the run is still going")
     pd = obs_sub.add_parser(
         "diff", help="compare two BENCH_*.json artifacts or runs/<id> directories"
     )
@@ -314,6 +333,7 @@ def _cmd_experiment(args) -> int:
         trace=args.trace,
         metrics_out=args.metrics_out,
         profile=args.profile,
+        probe_every=args.probe_every,
     )
     print(result.render())
     return 0 if "VIOLATED" not in result.verdict else 1
@@ -471,6 +491,22 @@ def _cmd_bench(args) -> int:
 
 
 def _cmd_obs(args) -> int:
+    if args.obs_command == "watch":
+        from repro.obs.watch import watch
+
+        try:
+            return watch(
+                args.run_dir,
+                interval=args.interval,
+                frames=args.frames,
+                follow=not args.once,
+            )
+        except FileNotFoundError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        except KeyboardInterrupt:
+            return 0
+
     if args.obs_command == "diff":
         import json as _json
 

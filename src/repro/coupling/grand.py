@@ -81,7 +81,29 @@ def coalescence_time_spec(
     # Under observability, record the convergence trace at power-of-two
     # checkpoints: the coupling distance (half the L1 gap — the quantity
     # the path-coupling argument contracts) and the pair's max load.
+    # With probes on, additionally stream decimated timeseries points
+    # and a one-shot coalescence monitor with the matching paper bound
+    # (Theorem 1 for ball removal, Claim 5.3 for bin removal).
     observing = obs.enabled()
+    every = obs.probe_interval() if observing else 0
+    monitor = None
+    series = f"coupling/{spec.name}"
+    if every > 0:
+        from repro.engine.spec import BallRemoval, BinRemoval
+        from repro.obs.probes import coalescence_monitor
+
+        m = int(v.sum())
+        bound = None
+        if spec.kind == "closed" and m >= 2:
+            from repro.coupling.recovery import claim53_bound, theorem1_bound
+
+            if isinstance(law, BallRemoval):
+                bound = theorem1_bound(m)
+            elif isinstance(law, BinRemoval):
+                bound = claim53_bound(n, m)
+        monitor = coalescence_monitor(
+            series, bound_step=bound, extra={"n": n, "m": m}
+        )
     result = -1
     for step in range(1, max_steps + 1):
         if spec.kind == "closed":
@@ -122,9 +144,20 @@ def coalescence_time_spec(
             obs.record_sample(
                 "coupling/max_load", step, float(max(v[0], u[0]))
             )
+        if monitor is not None and step % every == 0:
+            distance = 0.5 * float(np.abs(v - u).sum())
+            obs.record_point(
+                series, step,
+                {"distance": distance, "max": int(max(v[0], u[0]))},
+            )
+            monitor.observe(step, distance)
         if np.array_equal(v, u):
             result = step
             break
+    if monitor is not None and result > 0:
+        # Coalescence can land between decimated checks; the monitor is
+        # one-shot, so firing it here is exact and never duplicates.
+        monitor.observe(result, 0.0)
     if observing:
         executed = result if result > 0 else max_steps
         reg = obs.metrics()
@@ -195,12 +228,25 @@ def coalescence_time_edge(
     if np.array_equal(x, y):
         return 0
     observing = obs.enabled()
+    every = obs.probe_interval() if observing else 0
+    monitor = None
+    if every > 0:
+        from repro.coupling.recovery import theorem2_bound
+        from repro.obs.probes import coalescence_monitor
+
+        monitor = coalescence_monitor(
+            "coupling/edge", bound_step=int(theorem2_bound(n)), extra={"n": n}
+        )
     result = -1
     for step in range(1, max_steps + 1):
         if observing and (step & (step - 1)) == 0:
             obs.record_sample(
                 "coupling/edge_distance", step, 0.5 * float(np.abs(x - y).sum())
             )
+        if monitor is not None and step % every == 0:
+            distance = 0.5 * float(np.abs(x - y).sum())
+            obs.record_point("coupling/edge", step, {"distance": distance})
+            monitor.observe(step, distance)
         if rng.random() < 0.5:  # lazy bit: no move
             continue
         phi = int(rng.integers(0, n))
@@ -215,6 +261,8 @@ def coalescence_time_edge(
         if np.array_equal(x, y):
             result = step
             break
+    if monitor is not None and result > 0:
+        monitor.observe(result, 0.0)
     if observing:
         obs.metrics().counter("coupling.edge_steps").inc(
             result if result > 0 else max_steps

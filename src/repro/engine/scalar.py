@@ -198,10 +198,44 @@ class OpenSpecProcess:
         j = self.rule.select(self._v, rng)
         self._v[oplus_index(self._v, j)] += 1
 
+    def _get_probe(self):
+        """Lazily built chain probe (see the closed-spec counterpart).
+
+        Open systems have no fixed m, so the recovery envelope is pinned
+        to the ball count at probe creation — the natural "recover to
+        where we started being watched" notion for §7 runs.
+        """
+        probe = getattr(self, "_chain_probe", None)
+        if probe is None:
+            from repro.obs.probes import ChainProbe, max_load_recovery_monitor
+
+            series = f"{self.spec.name}/chain"
+            probe = ChainProbe(
+                series, monitors=(max_load_recovery_monitor(series, self.n, self.m),)
+            )
+            self._chain_probe = probe
+        return probe
+
     def run(self, steps: int) -> "OpenSpecProcess":
         """Execute *steps* steps; returns self."""
-        for _ in range(steps):
-            self.step()
+        if steps < 0:
+            raise ValueError(f"steps must be >= 0, got {steps}")
+        if not obs.enabled():
+            for _ in range(steps):
+                self.step()
+            return self
+        with obs.span(f"{self.spec.name}/run", steps=steps, n=self.n):
+            every = obs.probe_interval()
+            if every > 0:
+                probe = self._get_probe()
+                for _ in range(steps):
+                    self.step()
+                    if self._t % every == 0:
+                        probe.observe(self._t, self._v)
+            else:
+                for _ in range(steps):
+                    self.step()
+        obs.metrics().counter(f"{self.spec.name}.steps").inc(steps)
         return self
 
     def __repr__(self) -> str:

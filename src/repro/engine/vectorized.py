@@ -216,6 +216,39 @@ class VectorizedProcess:
         reg.counter("batch.steps").inc(steps)
         reg.counter("batch.replica_phases").inc(steps * self._R)
 
+    def _get_probe(self, target_max_load: int | None = None):
+        """Lazily built fleet probe (observed runs with probes on only).
+
+        With a *target_max_load* (the ``recovery_times`` campaign) the
+        probe carries a whole-fleet recovery monitor at that target;
+        plain ``run()`` sweeps use the default Theorem 1 envelope for
+        closed specs and no monitor for open ones (no fixed m).
+        """
+        probe = getattr(self, "_fleet_probe", None)
+        if probe is None:
+            from repro.obs.probes import (
+                FleetProbe,
+                ThresholdMonitor,
+                max_load_recovery_monitor,
+            )
+
+            series = f"batch/{self.spec.name}"
+            monitors: tuple = ()
+            if target_max_load is not None:
+                from repro.coupling.recovery import theorem1_bound
+
+                bound = theorem1_bound(self._m) if self._m >= 2 else None
+                monitors = (ThresholdMonitor(
+                    "max_load_recovery", series, target_max_load,
+                    bound_step=bound,
+                    extra={"n": self._n, "m": self._m, "replicas": self._R},
+                ),)
+            elif self.spec.kind == "closed":
+                monitors = (max_load_recovery_monitor(series, self._n, self._m),)
+            probe = FleetProbe(series, monitors=monitors)
+            self._fleet_probe = probe
+        return probe
+
     def run(self, steps: int) -> "VectorizedProcess":
         """Advance all replicas *steps* phases; returns self."""
         if steps < 0:
@@ -226,8 +259,16 @@ class VectorizedProcess:
             return self
         with obs.span("batch/run", steps=steps, replicas=self._R,
                       spec=self.spec.name):
-            for _ in range(steps):
-                self.step()
+            every = obs.probe_interval()
+            if every > 0:
+                probe = self._get_probe()
+                for _ in range(steps):
+                    self.step()
+                    if self._t % every == 0:
+                        probe.observe(self._t, self._V)
+            else:
+                for _ in range(steps):
+                    self.step()
         self._obs_account(steps)
         return self
 
@@ -241,6 +282,8 @@ class VectorizedProcess:
         ``batch/recovered_fraction``, ``batch/max_load_mean``).
         """
         observing = obs.enabled()
+        every = obs.probe_interval() if observing else 0
+        probe = self._get_probe(target_max_load) if every > 0 else None
         times = np.full(self._R, -1, dtype=np.int64)
         done = self._V[:, 0] <= target_max_load
         times[done] = 0
@@ -253,6 +296,8 @@ class VectorizedProcess:
             newly = (~done) & (self._V[:, 0] <= target_max_load)
             times[newly] = k
             done |= newly
+            if probe is not None and k % every == 0:
+                probe.observe(self._t, self._V)
             if observing and (k & (k - 1)) == 0:
                 obs.record_sample("batch/recovered_fraction", k, float(done.mean()))
                 obs.record_sample(

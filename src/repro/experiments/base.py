@@ -174,6 +174,7 @@ def run_observed(
     trace: bool = False,
     metrics_out: str | None = None,
     profile: bool = False,
+    probe_every: int = 0,
 ) -> ExperimentResult:
     """Run an experiment, optionally under full observability.
 
@@ -187,9 +188,13 @@ def run_observed(
     ``cProfile`` (:mod:`repro.obs.profile`), dropping
     ``profile.pstats`` + a rendered ``profile_top.txt`` top-N self-time
     table into the run dir and a ``{"type": "profile"}`` event into the
-    span stream.
+    span stream.  *probe_every* > 0 turns on per-step chain probes at
+    that decimation (implies observability): engines stream streaming-
+    estimator points and recovery-monitor events into
+    ``<run_dir>/timeseries.jsonl``, watchable live with
+    ``python -m repro obs watch <run_dir>``.
     """
-    if not trace and metrics_out is None and not profile:
+    if not trace and metrics_out is None and not profile and probe_every <= 0:
         return run(scale=scale, seed=seed)
     from repro import obs
 
@@ -197,7 +202,8 @@ def run_observed(
     stage = run.__module__.rsplit(".", 1)[-1].split("_")[0]  # e.g. "e01"
     prof = None
     with obs.observe_run(
-        run_dir, meta={"scale": scale, "seed": seed}, trace=True
+        run_dir, meta={"scale": scale, "seed": seed}, trace=True,
+        probe_every=probe_every,
     ) as rec:
         with obs.span(f"{stage}/run", scale=scale, seed=seed):
             if profile:
@@ -243,6 +249,11 @@ def main_for(run: Callable[..., ExperimentResult]) -> None:
         help="wrap the run in cProfile; writes profile.pstats + top-N "
         "self-time table into the run dir (implies observability)",
     )
+    parser.add_argument(
+        "--probe-every", type=int, default=0, metavar="K",
+        help="per-step chain probes every K steps into timeseries.jsonl "
+        "(0 = off; implies observability)",
+    )
     args = parser.parse_args()
     result = run_observed(
         run,
@@ -251,5 +262,6 @@ def main_for(run: Callable[..., ExperimentResult]) -> None:
         trace=args.trace,
         metrics_out=args.metrics_out,
         profile=args.profile,
+        probe_every=args.probe_every,
     )
     print(result.render())

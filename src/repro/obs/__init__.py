@@ -22,7 +22,15 @@ third-party dependencies and a no-op fast path when disabled:
   over two bench artifacts or run dirs, with bootstrap CIs and
   improved/regressed/unchanged verdicts;
 * **profiling** (:mod:`repro.obs.profile`) — opt-in ``--profile``
-  cProfile capture attached to the run artifact.
+  cProfile capture attached to the run artifact;
+* **per-step probes** (:mod:`repro.obs.probes`,
+  :mod:`repro.obs.streamstats`, :mod:`repro.obs.timeseries`) — engine
+  hooks at configurable decimation (``observe_run(probe_every=k)``)
+  feeding streaming estimators and paper-envelope recovery monitors
+  into a schema-versioned ``runs/<id>/timeseries.jsonl``;
+* **live watch** (:mod:`repro.obs.watch`) — the
+  ``python -m repro obs watch <run-dir>`` tail + sparkline terminal
+  view over a probed run.
 
 The bench/compare/profile modules are imported lazily (by the CLI and
 tests), not at package import — the instrumentation facade below stays
@@ -65,8 +73,12 @@ from repro.obs.runtime import (
     enable,
     enabled,
     get_recorder,
+    probe_interval,
     record_event,
+    record_monitor,
+    record_point,
     record_sample,
+    set_probe_interval,
     set_recorder,
 )
 from repro.obs.summarize import render_artifact, summarize_run
@@ -81,6 +93,11 @@ __all__ = [
     "set_recorder",
     "record_sample",
     "record_event",
+    # per-step probes (see repro.obs.probes / repro.obs.timeseries)
+    "probe_interval",
+    "set_probe_interval",
+    "record_point",
+    "record_monitor",
     # metrics
     "Counter",
     "Gauge",

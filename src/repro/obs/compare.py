@@ -12,7 +12,13 @@ Metric extraction:
   so bootstrap works), ``<id>.cpu_s`` (mean), ``<id>.peak_rss_kb``;
 * **run dir** — per span name: ``span/<name>.dur_s`` (every span
   occurrence is a sample), per recorded series: ``series/<name>.last``
-  (the convergence endpoint), plus ``run.duration_s``.
+  (the convergence endpoint), per fired recovery monitor:
+  ``monitor/<name>[<series>].step`` (the crossing step — earlier is
+  better, like everything else here), plus ``run.duration_s``.
+
+Artifacts with missing or empty resource sections (RSS/CPU samples)
+are tolerated: absent metrics are simply not emitted on that side and
+show up under "only in A/B" instead of fabricating zero samples.
 
 All metrics are lower-is-better (times, memory).  A metric is
 **regressed**/**improved** only when the bootstrap 95% CI of the mean
@@ -61,12 +67,22 @@ def load_metrics(path: str) -> dict[str, list[float]]:
     for b in payload.get("benches", []):
         if b.get("status") != "ok":
             continue
-        wall = b.get("wall_s", {})
-        samples = [float(v) for v in wall.get("samples", [])]
-        out[f"{b['id']}.wall_s"] = samples or [float(wall.get("mean", 0.0))]
-        cpu = b.get("cpu_s", {})
-        out[f"{b['id']}.cpu_s"] = [float(cpu.get("mean", 0.0))]
-        out[f"{b['id']}.peak_rss_kb"] = [float(b.get("peak_rss_kb", 0.0))]
+        # Resource series are optional: the sampler thread can observe
+        # nothing on very short benches, and artifacts from stripped
+        # environments omit RSS/CPU entirely.  Emit only what exists —
+        # fabricating 0.0 samples here used to poison diffs with fake
+        # "regressions" against the real side.
+        wall = b.get("wall_s") or {}
+        samples = [float(v) for v in wall.get("samples") or []]
+        if not samples and "mean" in wall:
+            samples = [float(wall["mean"])]
+        if samples:
+            out[f"{b['id']}.wall_s"] = samples
+        cpu = b.get("cpu_s") or {}
+        if "mean" in cpu:
+            out[f"{b['id']}.cpu_s"] = [float(cpu["mean"])]
+        if b.get("peak_rss_kb"):
+            out[f"{b['id']}.peak_rss_kb"] = [float(b["peak_rss_kb"])]
     return out
 
 
@@ -78,6 +94,10 @@ def _metrics_from_run(run_dir: str) -> dict[str, list[float]]:
     for name, (_, values) in sorted(art.series.items()):
         if values:
             out[f"series/{name}.last"] = [values[-1]]
+    for e in art.monitor_events:
+        if "step" in e:
+            key = f"monitor/{e.get('monitor', '?')}[{e.get('series', '?')}].step"
+            out.setdefault(key, []).append(float(e["step"]))
     dur = art.meta.get("duration_s")
     if dur is not None:
         out["run.duration_s"] = [float(dur)]

@@ -20,10 +20,12 @@ reads an artifact back for reports and tests.
 
 from __future__ import annotations
 
+import atexit
 import json
 import os
 import platform
 import shutil
+import signal
 import sys
 import threading
 import time
@@ -33,6 +35,7 @@ from typing import Any, Iterator
 
 from repro.obs import runtime
 from repro.obs.metrics import scoped_registry
+from repro.obs.timeseries import TIMESERIES_FILE, TIMESERIES_SCHEMA, load_timeseries
 from repro.obs.trace import Tracer, set_tracer
 
 __all__ = [
@@ -47,6 +50,10 @@ __all__ = [
 #: Per-series cap on persisted samples; overflow is counted, not stored,
 #: so a runaway trajectory cannot blow up the artifact.
 MAX_SAMPLES_PER_SERIES = 4096
+
+#: Per-series cap on persisted timeseries points (probe decimation keeps
+#: real runs far below this; the cap bounds misconfigured ones).
+MAX_POINTS_PER_SERIES = 16384
 
 
 def git_revision(start_dir: str | None = None) -> str | None:
@@ -97,23 +104,126 @@ class RunRecorder:
         self.series: dict[str, tuple[list[int], list[float]]] = {}
         self.events: list[dict] = []
         self.dropped: dict[str, int] = {}
+        self.points: dict[str, int] = {}
+        self.monitors: list[dict] = []
         self._started_wall = time.time()
         self._started_perf = time.perf_counter()
         self._file = open(os.path.join(run_dir, "events.jsonl"), "w")
+        self._ts_file: Any = None  # lazily opened on the first point
         self._closed = False
         # Background producers (the bench resource sampler) emit from
         # their own thread; serialize writes against the main thread.
         self._write_lock = threading.Lock()
+        self._install_exit_flush()
+
+    # -- interrupted-run safety -----------------------------------------------
+
+    def _install_exit_flush(self) -> None:
+        """Keep partial artifacts on interrupt: atexit + SIGINT flush.
+
+        A run killed mid-flight used to lose the buffered tail of
+        ``events.jsonl``/``timeseries.jsonl`` (and its ``meta.json``
+        entirely).  The atexit hook finalizes the artifact with status
+        ``interrupted`` if nobody called :meth:`finish`; the SIGINT
+        handler flushes the streams before chaining to the previous
+        handler (normally ``KeyboardInterrupt``, whose unwind runs the
+        regular finalization).  Both are torn down in :meth:`finish`.
+        """
+        atexit.register(self._atexit_finish)
+        self._prev_sigint: Any = None
+        if threading.current_thread() is not threading.main_thread():
+            return
+        try:
+            prev = signal.getsignal(signal.SIGINT)
+
+            def _flush_then_chain(signum, frame):
+                self.flush()
+                if callable(prev):
+                    prev(signum, frame)
+                else:  # pragma: no cover - SIG_IGN/SIG_DFL handler installed
+                    raise KeyboardInterrupt
+            signal.signal(signal.SIGINT, _flush_then_chain)
+            self._prev_sigint = prev
+        except (ValueError, OSError):  # pragma: no cover - exotic signal state
+            self._prev_sigint = None
+
+    def _atexit_finish(self) -> None:
+        """Interpreter exiting with the recorder still open: finalize."""
+        self.finish(status="interrupted")
+
+    def _teardown_exit_flush(self) -> None:
+        try:
+            atexit.unregister(self._atexit_finish)
+        except Exception:  # pragma: no cover - interpreter shutdown
+            pass
+        if self._prev_sigint is not None:
+            try:
+                if threading.current_thread() is threading.main_thread():
+                    signal.signal(signal.SIGINT, self._prev_sigint)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+            self._prev_sigint = None
+
+    def flush(self) -> None:
+        """Flush the open JSONL streams to disk (safe from handlers)."""
+        with self._write_lock:
+            if self._closed:
+                return
+            self._file.flush()
+            if self._ts_file is not None:
+                self._ts_file.flush()
 
     # -- event capture --------------------------------------------------------
 
     def emit(self, event: dict) -> None:
-        """Append one raw event (also the tracer's sink); thread-safe."""
+        """Append one raw event (also the tracer's sink); thread-safe.
+
+        Events are flushed line-by-line: they are checkpoint-rate (span
+        closes, decimated samples), so the flush is cheap, and it makes
+        artifacts of killed runs lossless up to the last event.
+        """
         with self._write_lock:
             if self._closed:
                 return
             self.events.append(event)
             self._file.write(json.dumps(event, separators=(",", ":")) + "\n")
+            self._file.flush()
+
+    def _ts_write(self, record: dict) -> None:
+        """Append one line to ``timeseries.jsonl`` (caller holds the lock)."""
+        if self._ts_file is None:
+            self._ts_file = open(os.path.join(self.run_dir, TIMESERIES_FILE), "w")
+            header = {"type": "header", "schema": TIMESERIES_SCHEMA,
+                      "probe_every": runtime.probe_interval()}
+            self._ts_file.write(json.dumps(header, separators=(",", ":")) + "\n")
+        self._ts_file.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._ts_file.flush()
+
+    def record_point(self, series: str, step: int, stats: dict) -> None:
+        """Record one probe point into ``timeseries.jsonl`` (capped per series)."""
+        with self._write_lock:
+            if self._closed:
+                return
+            count = self.points.get(series, 0)
+            if count >= MAX_POINTS_PER_SERIES:
+                key = f"timeseries/{series}"
+                self.dropped[key] = self.dropped.get(key, 0) + 1
+                return
+            self.points[series] = count + 1
+            self._ts_write(
+                {"type": "point", "series": series, "step": int(step),
+                 "stats": stats}
+            )
+
+    def record_monitor(self, event: dict) -> None:
+        """Record one recovery-monitor event (both streams; thread-safe)."""
+        event = {**event, "type": "monitor"}
+        self.monitors.append(event)
+        self.emit(event)
+        with self._write_lock:
+            if self._closed:
+                return
+            self._ts_write(event)
 
     def record(self, series: str, step: int, value: float) -> None:
         """Record one time-series sample (capped per series, see module doc)."""
@@ -140,6 +250,9 @@ class RunRecorder:
                 return
             self._closed = True
             self._file.close()
+            if self._ts_file is not None:
+                self._ts_file.close()
+        self._teardown_exit_flush()
         meta = {
             "status": status,
             "started_at": time.strftime(
@@ -154,6 +267,10 @@ class RunRecorder:
             },
             "dropped_samples": dict(sorted(self.dropped.items())),
         }
+        if self.points:
+            meta["timeseries"] = dict(sorted(self.points.items()))
+        if self.monitors:
+            meta["monitor_events"] = len(self.monitors)
         try:
             import numpy
 
@@ -183,13 +300,40 @@ class RunArtifact:
     run_dir: str
     meta: dict = field(default_factory=dict)
     events: list = field(default_factory=list)
-    #: Lines of events.jsonl that failed to parse (truncated run).
+    #: Parsed ``timeseries.jsonl`` records (header + points + monitors).
+    timeseries: list = field(default_factory=list)
+    #: Lines of events.jsonl / timeseries.jsonl that failed to parse
+    #: (truncated run).
     corrupt_lines: int = 0
 
     @property
     def spans(self) -> list[dict]:
         """The span events, in completion order."""
         return [e for e in self.events if e.get("type") == "span"]
+
+    @property
+    def monitor_events(self) -> list[dict]:
+        """Recovery-monitor events (from either stream, deduplicated)."""
+        seen: set[tuple] = set()
+        out: list[dict] = []
+        for e in self.events + self.timeseries:
+            if e.get("type") != "monitor":
+                continue
+            key = (e.get("monitor"), e.get("series"), e.get("step"))
+            if key in seen:
+                continue
+            seen.add(key)
+            out.append(e)
+        return out
+
+    @property
+    def points(self) -> dict[str, list[dict]]:
+        """Timeseries points regrouped as ``series -> [point, ...]``."""
+        out: dict[str, list[dict]] = {}
+        for e in self.timeseries:
+            if e.get("type") == "point" and "series" in e:
+                out.setdefault(e["series"], []).append(e)
+        return out
 
     @property
     def series(self) -> dict[str, tuple[list[int], list[float]]]:
@@ -240,7 +384,14 @@ def load_run(run_dir: str) -> RunArtifact:
                     events.append(event)
                 else:
                     corrupt += 1
-    return RunArtifact(run_dir=run_dir, meta=meta, events=events, corrupt_lines=corrupt)
+    timeseries, ts_corrupt = load_timeseries(run_dir)
+    return RunArtifact(
+        run_dir=run_dir,
+        meta=meta,
+        events=events,
+        timeseries=timeseries,
+        corrupt_lines=corrupt + ts_corrupt,
+    )
 
 
 def gc_runs(
@@ -283,19 +434,24 @@ def observe_run(
     *,
     meta: dict | None = None,
     trace: bool = True,
+    probe_every: int = 0,
 ) -> Iterator[RunRecorder]:
     """Observe one run: enable instrumentation, record into *run_dir*.
 
     Installs a :class:`RunRecorder` as the active recorder, a tracer
     whose span events stream into ``events.jsonl`` (when *trace*), and
     a fresh scoped metrics registry whose final snapshot lands in
-    ``meta.json``.  All global state is restored on exit, and the
-    artifact is finalized even if the body raises.
+    ``meta.json``.  *probe_every* > 0 additionally turns on per-step
+    chain probes at that decimation (see :mod:`repro.obs.probes`),
+    streaming ``timeseries.jsonl`` points.  All global state is
+    restored on exit, and the artifact is finalized even if the body
+    raises.
     """
     rec = RunRecorder(run_dir, meta=meta)
     was_enabled = runtime.enabled()
     runtime.enable()
     prev_rec = runtime.set_recorder(rec)
+    prev_probe = runtime.set_probe_interval(probe_every)
     prev_tracer = set_tracer(Tracer(sink=rec.emit)) if trace else None
     status = "error"
     with scoped_registry() as reg:
@@ -305,6 +461,7 @@ def observe_run(
         finally:
             if trace:
                 set_tracer(prev_tracer)
+            runtime.set_probe_interval(prev_probe)
             runtime.set_recorder(prev_rec)
             if not was_enabled:
                 runtime.disable()

@@ -24,10 +24,15 @@ __all__ = [
     "set_recorder",
     "record_sample",
     "record_event",
+    "probe_interval",
+    "set_probe_interval",
+    "record_point",
+    "record_monitor",
 ]
 
 _enabled = False
 _recorder: Optional["RunRecorder"] = None
+_probe_every = 0
 
 
 def enabled() -> bool:
@@ -79,3 +84,44 @@ def record_event(event: dict) -> None:
     """
     if _recorder is not None:
         _recorder.emit(event)
+
+
+def probe_interval() -> int:
+    """The per-step probe decimation k (0 = probes off, the default).
+
+    Engines consult this once per ``run()`` call, inside the
+    :func:`enabled` branch — the probes-off path costs nothing beyond
+    the existing boolean guard.
+    """
+    return _probe_every
+
+
+def set_probe_interval(every: int) -> int:
+    """Set the probe decimation (sample every k-th step; 0 disables).
+
+    Returns the previous interval so scoped users (``observe_run``)
+    can restore it.
+    """
+    global _probe_every
+    if every < 0:
+        raise ValueError(f"probe interval must be >= 0, got {every}")
+    prev = _probe_every
+    _probe_every = int(every)
+    return prev
+
+
+def record_point(series: str, step: int, stats: dict) -> None:
+    """Record one timeseries point on the active recorder (no-op without one)."""
+    if _recorder is not None:
+        _recorder.record_point(series, step, stats)
+
+
+def record_monitor(event: dict) -> None:
+    """Emit one recovery-monitor event on the active recorder (no-op without one).
+
+    Monitor events land in *both* streams: ``events.jsonl`` (so
+    ``repro obs summarize`` reports them) and ``timeseries.jsonl`` (so
+    ``repro obs watch`` tails them live).
+    """
+    if _recorder is not None:
+        _recorder.record_monitor(event)

@@ -9,6 +9,10 @@
 * one ASCII sparkline per recorded time series (max load, TV distance,
   coalescence fraction, …) with its range, reusing
   :func:`repro.utils.ascii_plot.sparkline`;
+* the probe timeseries (``timeseries.jsonl``, when the run had
+  ``--probe-every``) — one sparkline per probe series over its
+  headline stat — and any fired recovery-monitor events with their
+  paper-bound verdicts;
 * the headline counters from the final metrics snapshot;
 * a profile-hotspots table when the run was profiled (``--profile``
   emits ``{"type": "profile"}`` events, see :mod:`repro.obs.profile`).
@@ -71,6 +75,54 @@ def _series_table(artifact: RunArtifact) -> Table | None:
         t.add_row(
             [name, len(values), values[0], values[-1], min(values), max(values),
              sparkline(values)]
+        )
+    return t
+
+
+def _timeseries_table(artifact: RunArtifact) -> Table | None:
+    points = artifact.points
+    if not points:
+        return None
+    from repro.obs.watch import headline_stat
+    from repro.obs.timeseries import stat_track
+
+    t = Table(
+        ["series", "points", "stat", "first", "last", "min", "max", "trend"],
+        title="probe timeseries (timeseries.jsonl)",
+    )
+    for name, pts in sorted(points.items()):
+        stat = headline_stat(pts)
+        if stat is None:
+            t.add_row([name, len(pts), "-", "-", "-", "-", "-", ""])
+            continue
+        _, values = stat_track(pts, stat)
+        if not values:
+            t.add_row([name, len(pts), stat, "-", "-", "-", "-", ""])
+            continue
+        t.add_row(
+            [name, len(pts), stat, values[0], values[-1], min(values),
+             max(values), sparkline(values)]
+        )
+    return t
+
+
+def _monitor_table(artifact: RunArtifact) -> Table | None:
+    events = artifact.monitor_events
+    if not events:
+        return None
+    t = Table(
+        ["monitor", "series", "step", "value", "threshold", "bound", "verdict"],
+        title="recovery-monitor events",
+    )
+    for e in events:
+        if "bound_step" in e:
+            verdict = "within bound" if e.get("within_bound") else "OUTSIDE bound"
+            bound = e["bound_step"]
+        else:
+            verdict, bound = "-", "-"
+        t.add_row(
+            [e.get("monitor", "?"), e.get("series", "?"), e.get("step", "?"),
+             e.get("value", "?"), e.get("threshold", "?"), bound, verdict]
         )
     return t
 
@@ -145,6 +197,12 @@ def render_artifact(artifact: RunArtifact) -> str:
     series = _series_table(artifact)
     if series is not None:
         parts.append(series.render())
+    timeseries = _timeseries_table(artifact)
+    if timeseries is not None:
+        parts.append(timeseries.render())
+    monitors = _monitor_table(artifact)
+    if monitors is not None:
+        parts.append(monitors.render())
     profile = _profile_table(artifact)
     if profile is not None:
         parts.append(profile.render())

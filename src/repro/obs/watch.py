@@ -1,0 +1,195 @@
+"""Live terminal view of a probed run: ``python -m repro obs watch <run-dir>``.
+
+Tails ``timeseries.jsonl`` while (or after) a probed run writes it,
+rendering one frame per refresh:
+
+* a header — run dir, stream schema, probe decimation, run status
+  (``running…`` until ``meta.json`` appears; the recorder writes it
+  only at finalization, including interrupted finalization);
+* one line per probe series — point count, last step, a sparkline of
+  the headline stat over the most recent window, and its current
+  value;
+* fired recovery-monitor events with their bound verdicts;
+* a throughput line — probe steps/s measured between refreshes, and an
+  ETA when the run's metadata declares a step target
+  (``steps_total``), formatted via the ProgressReporter helpers.
+
+Everything renders from the artifact alone, so watching a live run, a
+finished one, or a truncated one from a killed process all degrade to
+whatever the stream holds — same tolerance contract as ``summarize``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from typing import Any
+
+from repro.experiments.base import format_duration
+from repro.obs.timeseries import (
+    header_of,
+    load_timeseries,
+    monitor_events,
+    points_by_series,
+    stat_track,
+)
+from repro.utils.ascii_plot import sparkline
+
+__all__ = ["render_frame", "watch", "headline_stat"]
+
+#: Preferred headline stat per point schema, in priority order.
+_HEADLINES = ("max", "tv", "mean", "value", "distance")
+
+#: Sparkline window: the most recent points shown per series.
+_WINDOW = 48
+
+
+def headline_stat(points: list[dict]) -> str | None:
+    """Pick the stat a series' sparkline should show.
+
+    Prefers the conventional names (max load, TV distance, fleet mean),
+    falling back to the first scalar stat of the last point, so unknown
+    probe schemas still render.
+    """
+    if not points:
+        return None
+    stats = points[-1].get("stats", {})
+    if not isinstance(stats, dict):
+        return None
+    for name in _HEADLINES:
+        if isinstance(stats.get(name), (int, float)) and not isinstance(
+            stats.get(name), bool
+        ):
+            return name
+    for name, value in stats.items():
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return name
+    return None
+
+
+def _load_meta(run_dir: str) -> dict:
+    """Tolerant ``meta.json`` read: missing/corrupt → ``{}`` (run live or killed)."""
+    path = os.path.join(run_dir, "meta.json")
+    try:
+        with open(path) as f:
+            meta = json.load(f)
+        return meta if isinstance(meta, dict) else {}
+    except (OSError, json.JSONDecodeError):
+        return {}
+
+
+def _monitor_line(e: dict) -> str:
+    head = f"  [{e.get('monitor', 'monitor')}] {e.get('series', '?')}"
+    body = f" fired at step {e.get('step', '?')} (value {e.get('value', '?')}"
+    thr = e.get("threshold")
+    if thr is not None:
+        body += f" <= {thr}"
+    body += ")"
+    if "bound_step" in e:
+        verdict = "within" if e.get("within_bound") else "OUTSIDE"
+        body += f" — bound {e['bound_step']}: {verdict}"
+    return head + body
+
+
+def render_frame(
+    run_dir: str,
+    *,
+    width: int = _WINDOW,
+    rate: float | None = None,
+    eta_s: float | None = None,
+) -> str:
+    """Render one watch frame of *run_dir* (pure: reads files, returns text)."""
+    records, corrupt = load_timeseries(run_dir)
+    meta = _load_meta(run_dir)
+    header = header_of(records)
+    status = meta.get("status", "running…")
+    lines = [
+        f"watch {run_dir} — status {status}, "
+        f"schema {header.get('schema', '?')}, "
+        f"probe_every {header.get('probe_every', '?')}"
+    ]
+    if corrupt:
+        lines.append(f"  warning: {corrupt} corrupt line(s) skipped (truncated run?)")
+    series = points_by_series(records)
+    if not series:
+        lines.append("  (no probe points yet)")
+    for name, points in sorted(series.items()):
+        stat = headline_stat(points)
+        if stat is None:
+            lines.append(f"  {name}: {len(points)} points (no scalar stats)")
+            continue
+        steps, values = stat_track(points, stat)
+        if not values:
+            lines.append(f"  {name}: {len(points)} points (no {stat} values)")
+            continue
+        tail = values[-width:]
+        lines.append(
+            f"  {name} [{stat}] {sparkline(tail)} "
+            f"last={values[-1]:g} @ step {steps[-1]} "
+            f"(min {min(values):g}, max {max(values):g}, {len(points)} pts)"
+        )
+    fired = monitor_events(records)
+    if fired:
+        lines.append("monitors:")
+        lines.extend(_monitor_line(e) for e in fired)
+    if "duration_s" in meta:
+        lines.append(f"finished in {format_duration(float(meta['duration_s']))}")
+    elif rate is not None:
+        tail = f"{rate:.0f} steps/s"
+        if eta_s is not None:
+            tail += f", eta ~{format_duration(eta_s)}"
+        lines.append(f"throughput: {tail}")
+    return "\n".join(lines)
+
+
+def watch(
+    run_dir: str,
+    *,
+    interval: float = 1.0,
+    frames: int | None = None,
+    follow: bool = True,
+    stream: Any = None,
+) -> int:
+    """Tail *run_dir* until the run finishes (or *frames* frames rendered).
+
+    Each refresh re-reads the stream and prints a frame; on a TTY the
+    screen is cleared between frames, elsewhere frames are separated by
+    a rule so piped output stays line-oriented.  Returns 0; raises
+    :class:`FileNotFoundError` when *run_dir* never appears.
+    """
+    out = stream if stream is not None else sys.stdout
+    if not os.path.isdir(run_dir):
+        raise FileNotFoundError(f"{run_dir!r} is not a run directory")
+    is_tty = bool(getattr(out, "isatty", lambda: False)())
+    rendered = 0
+    prev: tuple[float, int] | None = None
+    while True:
+        records, _ = load_timeseries(run_dir)
+        last_step = 0
+        for r in records:
+            if r.get("type") == "point":
+                last_step = max(last_step, int(r.get("step", 0)))
+        now = time.perf_counter()
+        rate = None
+        eta_s = None
+        if prev is not None and now > prev[0] and last_step > prev[1]:
+            rate = (last_step - prev[1]) / (now - prev[0])
+            meta = _load_meta(run_dir)
+            total = meta.get("steps_total")
+            if isinstance(total, (int, float)) and total > last_step and rate > 0:
+                eta_s = (float(total) - last_step) / rate
+        prev = (now, last_step)
+        frame = render_frame(run_dir, rate=rate, eta_s=eta_s)
+        if is_tty:
+            print("\x1b[2J\x1b[H" + frame, file=out, flush=True)
+        else:
+            if rendered:
+                print("-" * 72, file=out, flush=True)
+            print(frame, file=out, flush=True)
+        rendered += 1
+        finished = bool(_load_meta(run_dir))
+        if not follow or finished or (frames is not None and rendered >= frames):
+            return 0
+        time.sleep(interval)
