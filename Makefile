@@ -6,8 +6,8 @@ PY ?= python
 PYPATH = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: install test test-all test-fast bench bench-quick bench-diff \
-	bench-pytest engines-check examples report report-paper verify \
-	verify-full all
+	bench-pytest bench-trend obs-index campaign engines-check examples \
+	report report-paper verify verify-full all
 
 install:
 	$(PY) setup.py develop
@@ -37,6 +37,18 @@ bench-diff:
 
 bench-pytest:
 	$(PYPATH) $(PY) -m pytest benchmarks/ --benchmark-only
+
+# Perf trajectory over every committed BENCH_*.json (obs trend).
+bench-trend:
+	$(PYPATH) $(PY) -m repro obs trend --fail-on-regression
+
+# Rebuild runs/index.jsonl from disk.
+obs-index:
+	$(PYPATH) $(PY) -m repro obs index
+
+# Small parallel probed campaign (watch it live with `repro obs watch`).
+campaign:
+	$(PYPATH) $(PY) -m repro campaign --n 64 --replicas 8 --processes 2 --probe-every 50
 
 # Cross-engine validation: the parity suite plus the support matrix
 # (same gate as the CI engine-parity job; see docs/ENGINES.md).

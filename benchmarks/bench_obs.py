@@ -128,6 +128,57 @@ def test_bench_chain_probe_observe(benchmark):
     benchmark(lambda: probe.observe(1, loads))
 
 
+class _Sink:
+    """Recorder double for bus benches: accepts and drops everything."""
+
+    def record_point(self, series, step, stats, *, worker=None):
+        pass
+
+    def record_monitor(self, event, *, worker=None):
+        pass
+
+    def record_heartbeat(self, worker, payload):
+        pass
+
+    def record_bye(self, worker):
+        pass
+
+
+BUS_POINTS = 256
+
+
+def test_bench_bus_throughput(benchmark):
+    """Probe points/sec through the telemetry queue (ship + drain)."""
+    import multiprocessing as mp
+
+    from repro.obs.bus import BusSender, TelemetryBus
+
+    bus = TelemetryBus(_Sink(), mp.get_context(), heartbeat_s=0.0).start()
+    sender = BusSender(0, queue=bus.queue)
+
+    def ship():
+        target = bus.points_received + BUS_POINTS
+        for i in range(BUS_POINTS):
+            sender.record_point("bench/bus", i, {"value": 1.0})
+        while bus.points_received < target:
+            time.sleep(0.0002)
+
+    try:
+        benchmark(ship)
+    finally:
+        sender.bye()
+        bus.finish({0})
+
+
+def _bus_overhead_item(item, seed_seq):
+    # Deterministic CPU-bound work (~0.5 ms): low-variance timing, so
+    # the ratio below measures map overhead, not allocator noise.
+    acc = 0
+    for k in range(20_000):
+        acc += k
+    return acc + item
+
+
 def _best_of(fn, repeats=7):
     best = float("inf")
     for _ in range(repeats):
@@ -165,6 +216,47 @@ def test_disabled_overhead_ratio(capsys):
             f"ratio {ratio:.4f}"
         )
     assert ratio < 1.05, f"disabled-path overhead too high: {ratio:.3f}"
+
+
+def test_bus_disabled_overhead_ratio(capsys):
+    """parallel_replica_map with obs off vs a raw seeded loop.
+
+    With no recorder installed the map must not build a bus, spawn
+    telemetry threads, or capture registries — the whole fleet-bus
+    machinery rides behind the same one-boolean guard as the rest of
+    ``repro.obs``.  Gate: < 5% overhead over the bare loop.
+    """
+    from repro.utils.parallel import parallel_replica_map
+    from repro.utils.rng import spawn_seeds
+
+    items = list(range(64))
+
+    def raw():
+        seeds = spawn_seeds(0, len(items))
+        return [_bus_overhead_item(i, s) for i, s in zip(items, seeds)]
+
+    def mapped():
+        return parallel_replica_map(
+            _bus_overhead_item, items, seed=0, processes=1
+        )
+
+    assert raw() == mapped()  # warmup + equivalence
+    # Interleave the rounds so clock drift hits both sides equally.
+    t_raw = t_map = float("inf")
+    for _ in range(9):
+        t0 = time.perf_counter()
+        raw()
+        t_raw = min(t_raw, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        mapped()
+        t_map = min(t_map, time.perf_counter() - t0)
+    ratio = t_map / t_raw
+    with capsys.disabled():
+        print(
+            f"\nbus disabled overhead: raw loop {1e3 * t_raw:.2f} ms, "
+            f"parallel_replica_map {1e3 * t_map:.2f} ms, ratio {ratio:.4f}"
+        )
+    assert ratio < 1.05, f"disabled-bus overhead too high: {ratio:.3f}"
 
 
 def test_probes_disabled_overhead_ratio(capsys):

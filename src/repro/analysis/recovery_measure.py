@@ -26,6 +26,48 @@ from repro.utils.rng import SeedLike, spawn_generators
 __all__ = ["recovery_times_balls", "recovery_times_edge", "crash_state_edge"]
 
 
+def _scalar_recovery_replica(
+    _k,
+    seed_seq,
+    *,
+    rule,
+    scenario,
+    start,
+    target_max_load,
+    max_steps,
+):
+    """One scalar replica for :func:`parallel_replica_map` (picklable).
+
+    Receives the same spawned ``SeedSequence`` the serial loop's
+    :func:`~repro.utils.rng.spawn_generators` would hand replica ``_k``,
+    so serial and sharded runs produce identical recovery times.
+    """
+    make = ScenarioAProcess if scenario == "a" else ScenarioBProcess
+    proc = make(rule, start.copy(), seed=np.random.default_rng(seed_seq))
+    return int(
+        proc.run_until(lambda v: int(v[0]) <= target_max_load, max_steps)
+    )
+
+
+def _vectorized_recovery_shard(
+    sub_replicas,
+    seed_seq,
+    *,
+    rule,
+    scenario,
+    start,
+    target_max_load,
+    max_steps,
+):
+    """One vectorized sub-fleet of *sub_replicas* replicas (picklable)."""
+    from repro.engine.spec import scenario_a_spec, scenario_b_spec
+    from repro.engine.vectorized import VectorizedEngine
+
+    builder = scenario_a_spec if scenario == "a" else scenario_b_spec
+    bp = VectorizedEngine.make(builder(rule), start, sub_replicas, seed=seed_seq)
+    return bp.recovery_times(target_max_load, max_steps)
+
+
 def recovery_times_balls(
     rule: SchedulingRule,
     n: int,
@@ -38,6 +80,8 @@ def recovery_times_balls(
     max_steps: int = 10_000_000,
     engine: str = "scalar",
     seed: SeedLike = None,
+    processes: int | None = 1,
+    heartbeat_s: float | None = None,
 ) -> np.ndarray:
     """Steps from the crash state until max load ≤ *target_max_load*.
 
@@ -51,10 +95,42 @@ def recovery_times_balls(
     same hitting-time law, measured much faster for large R (requires
     an inverse-transform rule; experiments select this by scale via
     :func:`repro.experiments.base.select_engine`).
+
+    ``processes`` fans the fleet across worker processes via
+    :func:`~repro.utils.parallel.parallel_replica_map` (``None`` →
+    one per CPU).  Scalar replicas keep their per-replica seed streams,
+    so scalar results are identical at every process count; vectorized
+    fleets shard into per-process sub-fleets with independent spawned
+    streams, deterministic for a fixed ``(seed, processes)`` pair.
+    Under ``observe_run`` each worker becomes a telemetry-bus lane
+    (live probe points + heartbeats, period *heartbeat_s*).
     """
     if start is None:
         start = LoadVector.all_in_one(m, n)
+    fan_out = processes is None or processes > 1
     if engine == "vectorized":
+        if fan_out:
+            import multiprocessing as mp
+
+            from repro.experiments.base import shard_sizes
+            from repro.utils.parallel import parallel_replica_map
+
+            sizes = shard_sizes(replicas, processes or mp.cpu_count() or 1)
+            parts = parallel_replica_map(
+                _vectorized_recovery_shard,
+                sizes,
+                seed=seed,
+                processes=len(sizes),
+                heartbeat_s=heartbeat_s,
+                rule=rule,
+                scenario=scenario,
+                start=start,
+                target_max_load=target_max_load,
+                max_steps=max_steps,
+            )
+            return np.concatenate(
+                [np.asarray(p, dtype=np.int64) for p in parts]
+            )
         from repro.engine.spec import scenario_a_spec, scenario_b_spec
         from repro.engine.vectorized import VectorizedEngine
 
@@ -63,6 +139,22 @@ def recovery_times_balls(
         return bp.recovery_times(target_max_load, max_steps)
     if engine != "scalar":
         raise ValueError(f"engine must be 'scalar' or 'vectorized', got {engine!r}")
+    if fan_out:
+        from repro.utils.parallel import parallel_replica_map
+
+        times_list = parallel_replica_map(
+            _scalar_recovery_replica,
+            range(replicas),
+            seed=seed,
+            processes=processes,
+            heartbeat_s=heartbeat_s,
+            rule=rule,
+            scenario=scenario,
+            start=start,
+            target_max_load=target_max_load,
+            max_steps=max_steps,
+        )
+        return np.asarray(times_list, dtype=np.int64)
     times = np.empty(replicas, dtype=np.int64)
     make: Callable[..., DynamicAllocationProcess]
     make = ScenarioAProcess if scenario == "a" else ScenarioBProcess

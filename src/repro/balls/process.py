@@ -218,11 +218,25 @@ class DynamicAllocationProcess(ABC):
         if predicate(self._v):
             return 0
         hit = -1
-        for k in range(1, max_steps + 1):
-            self.step()
-            if predicate(self._v):
-                hit = k
-                break
+        every = obs.probe_interval() if obs.enabled() else 0
+        if every > 0:
+            # Probed hitting-time run: same decimated chain probe as
+            # ``run`` — this is what streams a recovery campaign's
+            # per-replica trajectories onto the telemetry bus.
+            probe = self._get_probe()
+            for k in range(1, max_steps + 1):
+                self.step()
+                if self._t % every == 0:
+                    probe.observe(self._t, self._v)
+                if predicate(self._v):
+                    hit = k
+                    break
+        else:
+            for k in range(1, max_steps + 1):
+                self.step()
+                if predicate(self._v):
+                    hit = k
+                    break
         if obs.enabled():
             self._obs_account(hit if hit >= 0 else max_steps)
         return hit

@@ -156,6 +156,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="show only this registered spec (default: all)",
     )
 
+    p = sub.add_parser(
+        "campaign",
+        help="parallel probed crash-recovery campaign (telemetry-bus fleet)",
+    )
+    p.add_argument("--n", type=int, default=64, help="bins/servers (default 64)")
+    p.add_argument("--m", type=int, default=None,
+                   help="balls/jobs (default: n)")
+    p.add_argument("--d", type=int, default=2,
+                   help="choices per allocation (ABKU rule, default 2)")
+    p.add_argument("--scenario", choices=("a", "b"), default="a")
+    p.add_argument("--engine", choices=("scalar", "vectorized"),
+                   default="scalar")
+    p.add_argument("--replicas", type=int, default=8)
+    p.add_argument("--processes", type=int, default=2,
+                   help="worker processes / telemetry lanes (default 2)")
+    p.add_argument("--target", type=int, default=None,
+                   help="recovered max-load target (default: recovery_target)")
+    p.add_argument("--max-steps", type=int, default=1_000_000)
+    p.add_argument("--probe-every", type=int, default=50,
+                   help="probe decimation: record every k-th step (default 50)")
+    p.add_argument("--heartbeat-s", type=float, default=None,
+                   help="worker heartbeat period in seconds")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default=None, metavar="DIR",
+                   help="run directory (default runs/<stamp>-campaign)")
+    p.add_argument("--trace", action="store_true",
+                   help="also record span events (events.jsonl)")
+
     p = sub.add_parser("bench", help="unified benchmark runner")
     bench_sub = p.add_subparsers(dest="bench_command", required=True)
     pb = bench_sub.add_parser(
@@ -179,8 +207,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pb.add_argument("--bench-dir", default="benchmarks",
                     help="directory holding bench_*.py (default benchmarks)")
-    pb.add_argument("--out-dir", default=".",
-                    help="where the BENCH_*.json lands (default: cwd)")
+    pb.add_argument("--out-dir", default="benchmarks/artifacts",
+                    help="where the BENCH_*.json lands "
+                    "(default: benchmarks/artifacts)")
     pb.add_argument("--run-dir", default=None, metavar="DIR",
                     help="run-artifact directory (default runs/bench-<timestamp>)")
     pb.add_argument("--no-progress", action="store_true",
@@ -203,6 +232,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="refresh period in seconds (default 1.0)")
     pw.add_argument("--once", action="store_true",
                     help="render a single frame and exit (no follow loop)")
+    pw.add_argument("--follow", action="store_true",
+                    help="keep tailing after the run reaches a terminal "
+                    "status (default: exit cleanly on ok/error/interrupted)")
     pw.add_argument("--frames", type=int, default=None, metavar="N",
                     help="stop after N frames even if the run is still going")
     pd = obs_sub.add_parser(
@@ -222,6 +254,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--fail-on-regression", action="store_true",
         help="exit 1 when any metric is significantly regressed",
     )
+    pi = obs_sub.add_parser(
+        "index", help="build the run/bench artifact index (runs/index.jsonl)"
+    )
+    pi.add_argument("--runs-dir", default="runs",
+                    help="run-artifact root to scan (default runs)")
+    pi.add_argument("--json", action="store_true", dest="as_json",
+                    help="print the index entries as JSON instead of tables")
+    pi.add_argument("--no-write", action="store_true",
+                    help="scan and print only; leave runs/index.jsonl alone")
+    pt = obs_sub.add_parser(
+        "trend",
+        help="per-commit perf trajectory over all BENCH_*.json artifacts",
+    )
+    pt.add_argument("metric", nargs="?", default=None,
+                    help="one metric (e.g. 'bench_obs::counter_inc.wall_s'); "
+                    "default: every metric in the head artifact")
+    pt.add_argument("--window", type=int, default=3,
+                    help="trailing artifacts pooled as the drift baseline "
+                    "(default 3)")
+    pt.add_argument("--threshold", type=float, default=0.05,
+                    help="relative change needed for a verdict (default 0.05)")
+    pt.add_argument("--bootstrap", type=int, default=2000,
+                    help="bootstrap resamples for the CI (default 2000)")
+    pt.add_argument("--seed", type=int, default=0,
+                    help="bootstrap RNG seed (deterministic CIs)")
+    pt.add_argument("--json", action="store_true", dest="as_json",
+                    help="machine-readable output instead of the tables")
+    pt.add_argument(
+        "--fail-on-regression", action="store_true",
+        help="exit 1 when the head regresses vs the trailing window",
+    )
+    pe = obs_sub.add_parser(
+        "export",
+        help="render a run directory as OpenMetrics text (Prometheus v2)",
+    )
+    pe.add_argument("run_dir", help="run-artifact directory to export")
+    pe.add_argument("--out", default=None, metavar="FILE",
+                    help="write the exposition to FILE instead of stdout")
+    pe.add_argument("--check", action="store_true",
+                    help="also validate against the OpenMetrics grammar; "
+                    "exit 1 on violations")
     pg = obs_sub.add_parser(
         "gc", help="prune old runs/<id> directories by mtime (dry-run by default)"
     )
@@ -414,6 +487,46 @@ def _cmd_diagnose(args) -> int:
     return 0
 
 
+def _cmd_campaign(args) -> int:
+    from repro.experiments.campaign import default_campaign_dir, run_campaign
+    from repro.utils.tables import Table
+
+    out = args.out or default_campaign_dir()
+    print(f"campaign run dir: {out}")
+    print(f"  watch live:  python -m repro obs watch {out}")
+    summary = run_campaign(
+        n=args.n,
+        m=args.m,
+        d=args.d,
+        scenario=args.scenario,
+        engine=args.engine,
+        replicas=args.replicas,
+        processes=args.processes,
+        target=args.target,
+        max_steps=args.max_steps,
+        probe_every=args.probe_every,
+        heartbeat_s=args.heartbeat_s,
+        seed=args.seed,
+        out=out,
+        trace=args.trace,
+    )
+    meta = summary["meta"]
+    t = Table(
+        ["n", "m", "scenario", "engine", "replicas", "procs",
+         "target", "median T", "q95 T", "capped", "wall s"],
+        title="campaign summary",
+    )
+    t.add_row([
+        meta["n"], meta["m"], meta["scenario"], meta["engine"],
+        meta["replicas"], meta["processes"], summary["target_max_load"],
+        summary["median"], summary["q95"], summary["capped"],
+        summary["wall_s"],
+    ])
+    print(t.render())
+    print(f"export metrics:  python -m repro obs export {out}")
+    return 0 if summary["capped"] == 0 else 1
+
+
 def _cmd_engines(args) -> int:
     from repro.engine import ENGINES, engine_support, spec_entries
     from repro.utils.tables import Table
@@ -465,6 +578,20 @@ def _cmd_bench(args) -> int:
                 s.skip_reason or "runnable",
             ])
         print(t.render())
+        from repro.obs.trend import DEFAULT_BENCH_DIRS, _scan_benches
+
+        artifacts = _scan_benches(DEFAULT_BENCH_DIRS)
+        if artifacts:
+            t = Table(
+                ["artifact", "created", "git rev", "benches"],
+                title="committed trajectory points (obs trend renders these)",
+            )
+            for e in sorted(artifacts, key=lambda x: x.get("created_at", "")):
+                t.add_row([
+                    e["path"], (e.get("created_at") or "?")[:19],
+                    (e.get("git_rev") or "?")[:10], e.get("benches", ""),
+                ])
+            print("\n" + t.render())
         return 0
 
     try:
@@ -499,7 +626,8 @@ def _cmd_obs(args) -> int:
                 args.run_dir,
                 interval=args.interval,
                 frames=args.frames,
-                follow=not args.once,
+                once=args.once,
+                follow=args.follow,
             )
         except FileNotFoundError as exc:
             print(f"error: {exc}", file=sys.stderr)
@@ -526,6 +654,65 @@ def _cmd_obs(args) -> int:
             print(render_compare(result))
         if args.fail_on_regression and result.has_regression:
             return 1
+        return 0
+
+    if args.obs_command == "index":
+        import json as _json
+
+        from repro.obs.trend import build_index, render_index, write_index
+
+        entries = build_index(runs_dir=args.runs_dir)
+        if not args.no_write:
+            path = write_index(entries, runs_dir=args.runs_dir)
+        if args.as_json:
+            print(_json.dumps(entries, indent=2, sort_keys=True))
+        else:
+            print(render_index(entries))
+            if not args.no_write:
+                print(f"\nwrote {path} ({len(entries)} entries)")
+        return 0
+
+    if args.obs_command == "trend":
+        import json as _json
+
+        from repro.obs.trend import compute_trend, render_trend, trend_to_json
+
+        result = compute_trend(
+            metric=args.metric,
+            window=args.window,
+            threshold=args.threshold,
+            n_boot=args.bootstrap,
+            seed=args.seed,
+        )
+        if args.as_json:
+            print(_json.dumps(trend_to_json(result), indent=2, sort_keys=True))
+        else:
+            print(render_trend(result))
+        if args.fail_on_regression and result.has_regression:
+            return 1
+        return 0
+
+    if args.obs_command == "export":
+        from repro.obs.export import export_run, validate_openmetrics
+
+        try:
+            text = export_run(args.run_dir)
+        except FileNotFoundError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        if args.out:
+            with open(args.out, "w") as f:
+                f.write(text)
+            print(f"wrote {args.out}")
+        else:
+            print(text, end="")
+        if args.check:
+            errors = validate_openmetrics(text)
+            for e in errors:
+                print(f"openmetrics: {e}", file=sys.stderr)
+            if errors:
+                return 1
+            print("openmetrics: valid", file=sys.stderr)
         return 0
 
     if args.obs_command == "gc":
@@ -561,6 +748,7 @@ _COMMANDS = {
     "verify": _cmd_verify,
     "static": _cmd_static,
     "engines": _cmd_engines,
+    "campaign": _cmd_campaign,
     "bench": _cmd_bench,
     "obs": _cmd_obs,
 }

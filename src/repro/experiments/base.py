@@ -22,6 +22,7 @@ __all__ = [
     "main_for",
     "run_observed",
     "select_engine",
+    "shard_sizes",
 ]
 
 Scale = str
@@ -33,6 +34,24 @@ def check_scale(scale: str) -> str:
     if scale not in _SCALES:
         raise ValueError(f"scale must be one of {_SCALES}, got {scale!r}")
     return scale
+
+
+def shard_sizes(total: int, shards: int) -> list[int]:
+    """Split *total* replicas into near-equal positive sub-fleet sizes.
+
+    The work-item list for a sharded vectorized fleet: one sub-fleet
+    per process, sizes differing by at most one, never zero (asking for
+    more shards than replicas collapses to ``total`` singletons).  Used
+    by campaign runners to fan a replica fleet across the telemetry
+    bus, one ``(R_k, n)`` engine per worker lane.
+    """
+    if total < 1:
+        raise ValueError(f"need total >= 1, got {total}")
+    if shards < 1:
+        raise ValueError(f"need shards >= 1, got {shards}")
+    shards = min(shards, total)
+    base, extra = divmod(total, shards)
+    return [base + 1] * extra + [base] * (shards - extra)
 
 
 def select_engine(spec, scale: str, *, replicas: int = 1):

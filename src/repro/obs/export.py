@@ -1,0 +1,265 @@
+"""OpenMetrics export of run artifacts: ``repro obs export <run-dir>``.
+
+The ROADMAP's allocation-as-a-service gateway needs a ``/metrics``
+endpoint; rather than invent a format there, the wire contract is
+fixed here, in the observability layer, as OpenMetrics text (the
+Prometheus exposition format v2): a finished — or still-running — run
+directory renders to one self-contained exposition ending in
+``# EOF``.
+
+Three sources fold into the exposition:
+
+* the run's final metrics snapshot (``meta.json:metrics``) replayed
+  through :meth:`~repro.obs.metrics.MetricsRegistry.to_openmetrics` —
+  counters, gauges, timers, histograms;
+* run-level facts as gauges — duration, corrupt line count, worker
+  lane count — plus a ``repro_run_info`` info-style gauge carrying
+  status and git revision as labels;
+* the probe state: each series lane's *last* point exports every
+  scalar stat as a labelled gauge (``series``/``stat``/``worker``
+  labels), and each fired recovery monitor exports its step, so a
+  scrape of a live campaign sees the newest telemetry without
+  replaying the stream.
+
+:func:`validate_openmetrics` is a pragmatic grammar checker used by
+tests and the CI trend-smoke job: exposition-level invariants (single
+trailing ``# EOF``, samples match the ABNF sample shape, families are
+typed before use, counters end in ``_total``, histograms carry a
+``+Inf`` bucket) — not a full parser, but enough to keep the exporter
+honest against the spec.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.obs.metrics import MetricsRegistry, _om_name, _om_value
+from repro.obs.recorder import load_run
+from repro.obs.timeseries import monitor_events, points_by_lane
+
+__all__ = ["export_run", "registry_to_openmetrics", "validate_openmetrics"]
+
+
+def _om_label(value) -> str:
+    """Escape a label value per the OpenMetrics ABNF."""
+    s = str(value)
+    return (
+        s.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _scalar_stats(stats: dict, prefix: str = "") -> list[tuple[str, float]]:
+    """Flatten one point's scalar stats (``/``-nested like stat_track)."""
+    out: list[tuple[str, float]] = []
+    for key, value in sorted(stats.items()):
+        name = f"{prefix}{key}"
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            out.append((name, float(value)))
+        elif isinstance(value, dict):
+            out.extend(_scalar_stats(value, prefix=f"{name}/"))
+    return out
+
+
+def export_run(run_dir: str, *, prefix: str = "repro") -> str:
+    """Render *run_dir* as one OpenMetrics exposition (text, ``# EOF``-final)."""
+    art = load_run(run_dir)
+    lines: list[str] = []
+
+    # Run-level facts.
+    meta = art.meta
+    info_base = _om_name(prefix, "run.info")
+    lines.append(f"# TYPE {info_base} gauge")
+    lines.append(
+        f'{info_base}{{status="{_om_label(meta.get("status", "running"))}",'
+        f'git_rev="{_om_label(meta.get("git_rev") or "unknown")}"}} 1'
+    )
+    if "duration_s" in meta:
+        base = _om_name(prefix, "run.duration_seconds")
+        lines.append(f"# TYPE {base} gauge")
+        lines.append(f"{base} {_om_value(float(meta['duration_s']))}")
+    base = _om_name(prefix, "run.corrupt_lines")
+    lines.append(f"# TYPE {base} gauge")
+    lines.append(f"{base} {art.corrupt_lines}")
+    workers = art.workers
+    if workers:
+        base = _om_name(prefix, "run.worker_lanes")
+        lines.append(f"# TYPE {base} gauge")
+        lines.append(f"{base} {len(workers)}")
+
+    # Probe state: the last point of every series lane, stat by stat.
+    lanes = points_by_lane(art.timeseries)
+    if lanes:
+        base = _om_name(prefix, "probe.last")
+        step_base = _om_name(prefix, "probe.last_step")
+        stat_lines: list[str] = []
+        step_lines: list[str] = []
+        for (series, worker), points in sorted(
+            lanes.items(), key=lambda kv: (kv[0][0], -1 if kv[0][1] is None else kv[0][1])
+        ):
+            last = points[-1]
+            labels = f'series="{_om_label(series)}"'
+            if worker is not None:
+                labels += f',worker="{worker}"'
+            step_lines.append(
+                f"{step_base}{{{labels}}} {int(last.get('step', 0))}"
+            )
+            stats = last.get("stats", {})
+            if isinstance(stats, dict):
+                for stat, value in _scalar_stats(stats):
+                    stat_lines.append(
+                        f'{base}{{{labels},stat="{_om_label(stat)}"}} '
+                        f"{_om_value(value)}"
+                    )
+        if stat_lines:
+            lines.append(f"# TYPE {base} gauge")
+            lines.extend(stat_lines)
+        lines.append(f"# TYPE {step_base} gauge")
+        lines.extend(step_lines)
+
+    # Fired recovery monitors: the step each one fired at.
+    fired = monitor_events(art.timeseries) or [
+        e for e in art.events if e.get("type") == "monitor"
+    ]
+    if fired:
+        base = _om_name(prefix, "monitor.fired_step")
+        lines.append(f"# TYPE {base} gauge")
+        seen: set[str] = set()
+        for e in fired:
+            labels = (
+                f'monitor="{_om_label(e.get("monitor", "?"))}",'
+                f'series="{_om_label(e.get("series", "?"))}"'
+            )
+            if isinstance(e.get("worker"), int):
+                labels += f',worker="{e["worker"]}"'
+            if labels in seen:  # one sample per label set (dedup re-fires)
+                continue
+            seen.add(labels)
+            lines.append(f"{base}{{{labels}}} {int(e.get('step', 0))}")
+
+    body = "\n".join(lines) + "\n"
+
+    # The final metrics snapshot, replayed through the registry.
+    metrics = meta.get("metrics")
+    if isinstance(metrics, dict):
+        reg = MetricsRegistry()
+        reg.merge(metrics)
+        return body + reg.to_openmetrics(prefix=prefix, eof=True)
+    return body + "# EOF\n"
+
+
+def registry_to_openmetrics(
+    registry: MetricsRegistry, *, prefix: str = "repro"
+) -> str:
+    """Convenience alias kept for symmetry with :func:`export_run`."""
+    return registry.to_openmetrics(prefix=prefix)
+
+
+# -- grammar validation -------------------------------------------------------
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^{}]*\})?"
+    r" (?P<value>[^ ]+)"
+    r"( (?P<timestamp>-?[0-9]+(\.[0-9]+)?))?$"
+)
+_TYPE_RE = re.compile(
+    r"^# TYPE (?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*) "
+    r"(?P<type>counter|gauge|summary|histogram|info|stateset|"
+    r"gaugehistogram|unknown)$"
+)
+_VALUE_RE = re.compile(r"^([+-]?[0-9]*\.?[0-9]+([eE][+-]?[0-9]+)?|[+-]?Inf|NaN)$")
+
+#: Sample-name suffixes each family type may expose.
+_SUFFIXES = {
+    "counter": ("_total", "_created"),
+    "gauge": ("",),
+    "summary": ("_count", "_sum", "", "_created"),
+    "histogram": ("_bucket", "_count", "_sum", "_created"),
+    "info": ("_info", ""),
+    "unknown": ("",),
+}
+
+
+def validate_openmetrics(text: str) -> list[str]:
+    """Check *text* against the OpenMetrics text grammar; returns errors.
+
+    Pragmatic exposition-level validation (see module docstring); an
+    empty list means the exposition passed every check.
+    """
+    errors: list[str] = []
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    if not lines:
+        return ["empty exposition"]
+    if lines[-1] != "# EOF":
+        errors.append("exposition must end with '# EOF'")
+    families: dict[str, str] = {}
+    histogram_buckets: dict[str, bool] = {}
+    for i, line in enumerate(lines, 1):
+        if line == "# EOF":
+            if i != len(lines):
+                errors.append(f"line {i}: content after '# EOF'")
+            continue
+        if line.startswith("#"):
+            m = _TYPE_RE.match(line)
+            if m:
+                name = m.group("name")
+                if name in families:
+                    errors.append(f"line {i}: duplicate TYPE for {name!r}")
+                families[name] = m.group("type")
+                if m.group("type") == "histogram":
+                    histogram_buckets[name] = False
+                continue
+            if line.startswith(("# HELP ", "# UNIT ")):
+                continue
+            errors.append(f"line {i}: unrecognized comment {line!r}")
+            continue
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            errors.append(f"line {i}: malformed sample line {line!r}")
+            continue
+        if not _VALUE_RE.match(m.group("value")):
+            errors.append(f"line {i}: malformed value {m.group('value')!r}")
+        sample = m.group("name")
+        family = _family_of(sample, families)
+        if family is None:
+            errors.append(f"line {i}: sample {sample!r} has no TYPE declaration")
+            continue
+        ftype = families[family]
+        allowed = _SUFFIXES.get(ftype, ("",))
+        suffix = sample[len(family):]
+        if suffix not in allowed and not (
+            ftype == "summary" and suffix == "_max"
+        ):
+            errors.append(
+                f"line {i}: sample {sample!r} illegal for {ftype} family "
+                f"{family!r}"
+            )
+        if ftype == "counter" and suffix == "":
+            errors.append(
+                f"line {i}: counter sample {sample!r} must use '_total'"
+            )
+        if ftype == "histogram" and suffix == "_bucket":
+            if 'le="+Inf"' in (m.group("labels") or ""):
+                histogram_buckets[family] = True
+    for family, has_inf in histogram_buckets.items():
+        if not has_inf:
+            errors.append(f"histogram {family!r} lacks an le=\"+Inf\" bucket")
+    return errors
+
+
+def _family_of(sample: str, families: dict[str, str]) -> str | None:
+    """The declared family a sample name belongs to (longest match wins)."""
+    best: str | None = None
+    for family in families:
+        if sample == family or (
+            sample.startswith(family)
+            and sample[len(family):] in ("_total", "_count", "_sum", "_bucket",
+                                         "_created", "_info", "_max")
+        ):
+            if best is None or len(family) > len(best):
+                best = family
+    return best

@@ -35,7 +35,14 @@ from typing import Any, Iterator
 
 from repro.obs import runtime
 from repro.obs.metrics import scoped_registry
-from repro.obs.timeseries import TIMESERIES_FILE, TIMESERIES_SCHEMA, load_timeseries
+from repro.obs.timeseries import (
+    HEARTBEAT_FILE,
+    HEARTBEAT_SCHEMA,
+    TIMESERIES_FILE,
+    TIMESERIES_SCHEMA,
+    load_heartbeats,
+    load_timeseries,
+)
 from repro.obs.trace import Tracer, set_tracer
 
 __all__ = [
@@ -110,6 +117,11 @@ class RunRecorder:
         self._started_perf = time.perf_counter()
         self._file = open(os.path.join(run_dir, "events.jsonl"), "w")
         self._ts_file: Any = None  # lazily opened on the first point
+        self._ts_header: dict | None = None
+        #: Every timeseries record with its lane key (-1 = the parent),
+        #: kept so :meth:`finish` can canonicalize a multi-lane stream.
+        self._ts_records: list[tuple[int, dict]] = []
+        self._hb_file: Any = None  # lazily opened on the first heartbeat
         self._closed = False
         # Background producers (the bench resource sampler) emit from
         # their own thread; serialize writes against the main thread.
@@ -172,6 +184,8 @@ class RunRecorder:
             self._file.flush()
             if self._ts_file is not None:
                 self._ts_file.flush()
+            if self._hb_file is not None:
+                self._hb_file.flush()
 
     # -- event capture --------------------------------------------------------
 
@@ -189,41 +203,86 @@ class RunRecorder:
             self._file.write(json.dumps(event, separators=(",", ":")) + "\n")
             self._file.flush()
 
-    def _ts_write(self, record: dict) -> None:
+    def _ts_write(self, record: dict, *, worker: int | None = None) -> None:
         """Append one line to ``timeseries.jsonl`` (caller holds the lock)."""
         if self._ts_file is None:
             self._ts_file = open(os.path.join(self.run_dir, TIMESERIES_FILE), "w")
-            header = {"type": "header", "schema": TIMESERIES_SCHEMA,
-                      "probe_every": runtime.probe_interval()}
-            self._ts_file.write(json.dumps(header, separators=(",", ":")) + "\n")
+            self._ts_header = {"type": "header", "schema": TIMESERIES_SCHEMA,
+                               "probe_every": runtime.probe_interval()}
+            self._ts_file.write(
+                json.dumps(self._ts_header, separators=(",", ":")) + "\n"
+            )
+        self._ts_records.append((-1 if worker is None else int(worker), record))
         self._ts_file.write(json.dumps(record, separators=(",", ":")) + "\n")
         self._ts_file.flush()
 
-    def record_point(self, series: str, step: int, stats: dict) -> None:
-        """Record one probe point into ``timeseries.jsonl`` (capped per series)."""
+    def record_point(
+        self, series: str, step: int, stats: dict, *, worker: int | None = None
+    ) -> None:
+        """Record one probe point into ``timeseries.jsonl`` (capped per lane).
+
+        *worker* tags the point with its fleet lane (the shard index a
+        telemetry-bus message came from); the per-series point cap is
+        keyed per lane so one chatty shard cannot starve the others.
+        """
+        lane = series if worker is None else f"{series}#w{int(worker)}"
         with self._write_lock:
             if self._closed:
                 return
-            count = self.points.get(series, 0)
+            count = self.points.get(lane, 0)
             if count >= MAX_POINTS_PER_SERIES:
-                key = f"timeseries/{series}"
+                key = f"timeseries/{lane}"
                 self.dropped[key] = self.dropped.get(key, 0) + 1
                 return
-            self.points[series] = count + 1
-            self._ts_write(
-                {"type": "point", "series": series, "step": int(step),
-                 "stats": stats}
-            )
+            self.points[lane] = count + 1
+            record = {"type": "point", "series": series, "step": int(step),
+                      "stats": stats}
+            if worker is not None:
+                record["worker"] = int(worker)
+            self._ts_write(record, worker=worker)
 
-    def record_monitor(self, event: dict) -> None:
+    def record_monitor(self, event: dict, *, worker: int | None = None) -> None:
         """Record one recovery-monitor event (both streams; thread-safe)."""
         event = {**event, "type": "monitor"}
+        if worker is not None:
+            event["worker"] = int(worker)
         self.monitors.append(event)
         self.emit(event)
         with self._write_lock:
             if self._closed:
                 return
-            self._ts_write(event)
+            self._ts_write(event, worker=worker)
+
+    def record_heartbeat(self, worker: int, payload: dict) -> None:
+        """Record one worker liveness sample into ``heartbeats.jsonl``.
+
+        Heartbeats carry wall-clock timestamps and RSS, so they live in
+        their own stream: ``timeseries.jsonl`` stays a deterministic
+        function of the seed, ``heartbeats.jsonl`` is explicitly not.
+        """
+        self._hb_write(
+            {"type": "heartbeat", "worker": int(worker), "at": time.time(),
+             **payload}
+        )
+
+    def record_bye(self, worker: int) -> None:
+        """Record a worker's clean-exit marker (heartbeat stream)."""
+        self._hb_write({"type": "bye", "worker": int(worker), "at": time.time()})
+
+    def _hb_write(self, record: dict) -> None:
+        with self._write_lock:
+            if self._closed:
+                return
+            if self._hb_file is None:
+                self._hb_file = open(
+                    os.path.join(self.run_dir, HEARTBEAT_FILE), "w"
+                )
+                header = {"type": "header", "schema": HEARTBEAT_SCHEMA}
+                self._hb_file.write(
+                    json.dumps(header, separators=(",", ":")) + "\n"
+                )
+            self._hb_file.write(json.dumps(record, separators=(",", ":")) + "\n")
+            self._hb_file.flush()
 
     def record(self, series: str, step: int, value: float) -> None:
         """Record one time-series sample (capped per series, see module doc)."""
@@ -243,6 +302,26 @@ class RunRecorder:
 
     # -- finalization ----------------------------------------------------------
 
+    def _canonicalize_timeseries(self) -> None:
+        """Rewrite ``timeseries.jsonl`` in lane order (caller holds the lock).
+
+        Live streaming interleaves lanes in queue-arrival order, which
+        is wall-clock dependent.  Each lane's *own* records arrive in
+        emission order (per-producer FIFO), so a stable sort on the
+        lane key — parent records first, then worker 0, 1, ... — makes
+        the finished file a byte-identical function of the seed.  A
+        single-lane stream is already canonical and is left untouched,
+        byte-for-byte.
+        """
+        if self._ts_file is None or all(w < 0 for w, _ in self._ts_records):
+            return
+        ordered = sorted(self._ts_records, key=lambda pair: pair[0])
+        path = os.path.join(self.run_dir, TIMESERIES_FILE)
+        with open(path, "w") as f:
+            f.write(json.dumps(self._ts_header, separators=(",", ":")) + "\n")
+            for _, record in ordered:
+                f.write(json.dumps(record, separators=(",", ":")) + "\n")
+
     def finish(self, *, status: str = "ok", metrics: dict | None = None) -> None:
         """Flush events and write ``meta.json`` (idempotent)."""
         with self._write_lock:
@@ -252,6 +331,9 @@ class RunRecorder:
             self._file.close()
             if self._ts_file is not None:
                 self._ts_file.close()
+            if self._hb_file is not None:
+                self._hb_file.close()
+            self._canonicalize_timeseries()
         self._teardown_exit_flush()
         meta = {
             "status": status,
@@ -302,6 +384,8 @@ class RunArtifact:
     events: list = field(default_factory=list)
     #: Parsed ``timeseries.jsonl`` records (header + points + monitors).
     timeseries: list = field(default_factory=list)
+    #: Parsed ``heartbeats.jsonl`` records (worker liveness; wall-clock).
+    heartbeats: list = field(default_factory=list)
     #: Lines of events.jsonl / timeseries.jsonl that failed to parse
     #: (truncated run).
     corrupt_lines: int = 0
@@ -319,7 +403,8 @@ class RunArtifact:
         for e in self.events + self.timeseries:
             if e.get("type") != "monitor":
                 continue
-            key = (e.get("monitor"), e.get("series"), e.get("step"))
+            key = (e.get("monitor"), e.get("series"), e.get("step"),
+                   e.get("worker"))
             if key in seen:
                 continue
             seen.add(key)
@@ -334,6 +419,16 @@ class RunArtifact:
             if e.get("type") == "point" and "series" in e:
                 out.setdefault(e["series"], []).append(e)
         return out
+
+    @property
+    def workers(self) -> list[int]:
+        """Worker lanes seen in the timeseries or heartbeat streams."""
+        lanes = {
+            e["worker"]
+            for e in self.timeseries + self.heartbeats
+            if isinstance(e.get("worker"), int)
+        }
+        return sorted(lanes)
 
     @property
     def series(self) -> dict[str, tuple[list[int], list[float]]]:
@@ -385,12 +480,14 @@ def load_run(run_dir: str) -> RunArtifact:
                 else:
                     corrupt += 1
     timeseries, ts_corrupt = load_timeseries(run_dir)
+    heartbeats, hb_corrupt = load_heartbeats(run_dir)
     return RunArtifact(
         run_dir=run_dir,
         meta=meta,
         events=events,
         timeseries=timeseries,
-        corrupt_lines=corrupt + ts_corrupt,
+        heartbeats=heartbeats,
+        corrupt_lines=corrupt + ts_corrupt + hb_corrupt,
     )
 
 

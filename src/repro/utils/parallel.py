@@ -15,11 +15,29 @@ When :mod:`repro.obs` is enabled, each call runs against a fresh scoped
 metrics registry whose snapshot rides back with the result and is
 merged into the parent's default registry — so fleet metrics survive
 the process boundary, identically on the inline and pooled paths.
+
+When a :class:`~repro.obs.recorder.RunRecorder` is additionally
+installed (an ``observe_run`` campaign), each shard of items gets a
+telemetry lane over the fleet bus (:mod:`repro.obs.bus`): workers ship
+decimated probe points and monitor events to the parent *as they run*
+— tagged ``worker=k`` by shard index, not OS pid, so lane assignment
+is deterministic — plus periodic heartbeats into the separate
+``heartbeats.jsonl`` stream.  ``repro obs watch`` can therefore
+live-tail a parallel campaign.  A worker killed mid-shard surfaces as
+a ``worker_lost`` monitor event on the parent artifact before the pool
+failure propagates.
+
+Items are split into ``processes`` contiguous shards.  Per-item seeds
+are spawned before sharding, so results — and, for a fixed process
+count, the finished ``timeseries.jsonl`` — are a function of the seed
+alone.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Sequence
 
 from repro import obs
@@ -27,27 +45,102 @@ from repro.utils.rng import SeedLike, spawn_seeds
 
 __all__ = ["parallel_replica_map"]
 
+# Worker-side bus state, installed by the pool initializer (a Queue
+# cannot ride inside pickled task payloads; inheritance via the
+# initializer works for both fork and spawn start methods).
+_WORKER_QUEUE: Any = None
+_WORKER_HEARTBEAT_S: float = 0.0
 
-def _call(payload):
-    fn, item, seed_seq, kwargs, capture = payload
-    if not capture:
-        return fn(item, seed_seq, **kwargs), None
+
+def _bus_worker_init(queue, enabled, probe_every, heartbeat_s) -> None:
+    """Pool initializer: adopt the bus queue + the parent's obs switches."""
+    global _WORKER_QUEUE, _WORKER_HEARTBEAT_S
+    _WORKER_QUEUE = queue
+    _WORKER_HEARTBEAT_S = float(heartbeat_s)
+    from repro.obs import runtime, set_tracer
+
+    # A forked child inherits the parent's recorder/tracer objects but
+    # must never write through them (shared file descriptors); a
+    # spawned child starts blank and needs the switches replayed.
+    runtime.set_recorder(None)
+    set_tracer(None)
+    runtime.set_probe_interval(probe_every)
+    if enabled:
+        runtime.enable()
+    else:
+        runtime.disable()
+
+
+def _run_shard(shard, fn, pairs, kwargs, capture, sender, heartbeat):
+    """Run one shard's items; returns ``[(result, metrics_snapshot), ...]``.
+
+    With *sender* installed as the active recorder, engine probe points
+    and monitor events emitted inside ``fn`` stream onto the bus (or
+    straight into the parent recorder on the inline path).  The shard
+    always says ``bye`` on the way out — also when an item raises — so
+    only a killed process leaves a silent lane.
+    """
     from repro.obs import runtime, set_tracer
     from repro.obs.metrics import scoped_registry
 
-    # Metrics go to a scratch registry that rides back with the result.
-    # The recorder and tracer are detached for the call: a forked worker
-    # must not write to the parent's events.jsonl file descriptor, and
-    # the inline path mirrors that so both paths behave identically.
-    with scoped_registry() as reg:
-        prev_rec = runtime.set_recorder(None)
-        prev_tracer = set_tracer(None)
-        try:
-            out = fn(item, seed_seq, **kwargs)
-        finally:
+    outs: list[tuple[Any, dict | None]] = []
+    detach = capture or sender is not None
+    prev_rec = runtime.set_recorder(sender) if detach else None
+    prev_tracer = set_tracer(None) if detach else None
+    if heartbeat is not None:
+        heartbeat.start()
+    try:
+        for item, seed_seq in pairs:
+            if capture:
+                # Metrics go to a scratch registry that rides back with
+                # the result and merges in the parent, item by item.
+                with scoped_registry() as reg:
+                    out = fn(item, seed_seq, **kwargs)
+                outs.append((out, reg.snapshot()))
+            else:
+                outs.append((fn(item, seed_seq, **kwargs), None))
+            if sender is not None:
+                sender.items_done += 1
+    finally:
+        if heartbeat is not None:
+            heartbeat.stop()
+        if sender is not None:
+            try:
+                sender.bye()
+            except Exception:  # pragma: no cover - queue gone at teardown
+                pass
+        if detach:
             runtime.set_recorder(prev_rec)
             set_tracer(prev_tracer)
-    return out, reg.snapshot()
+    return outs
+
+
+def _call_shard(payload):
+    """Pool entry point: build this shard's telemetry lane, run it."""
+    shard, fn, pairs, kwargs, capture = payload
+    sender = heartbeat = None
+    if _WORKER_QUEUE is not None:
+        from repro.obs.bus import worker_telemetry
+
+        sender, heartbeat = worker_telemetry(
+            shard,
+            queue=_WORKER_QUEUE,
+            items_total=len(pairs),
+            heartbeat_s=_WORKER_HEARTBEAT_S,
+        )
+    return _run_shard(shard, fn, pairs, kwargs, capture, sender, heartbeat)
+
+
+def _shard_slices(n_items: int, shards: int) -> list[tuple[int, int]]:
+    """Contiguous ``(start, stop)`` shard bounds, sizes differing by <= 1."""
+    base, extra = divmod(n_items, shards)
+    bounds: list[tuple[int, int]] = []
+    start = 0
+    for k in range(shards):
+        stop = start + base + (1 if k < extra else 0)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
 
 
 def parallel_replica_map(
@@ -57,6 +150,7 @@ def parallel_replica_map(
     seed: SeedLike = None,
     processes: int | None = None,
     chunksize: int = 1,
+    heartbeat_s: float | None = None,
     **kwargs,
 ) -> list[Any]:
     """Evaluate ``fn(item, seed_seq, **kwargs)`` for each item.
@@ -64,27 +158,44 @@ def parallel_replica_map(
     Each call receives its own spawned ``SeedSequence``.  ``processes``
     defaults to ``min(len(items), cpu_count())``; ``processes=1`` runs
     inline (no pool).  Results preserve input order.  Worker exceptions
-    propagate to the caller on both paths.
+    propagate to the caller on both paths; a worker process *killed*
+    mid-shard raises :class:`~concurrent.futures.process.BrokenProcessPool`
+    after a ``worker_lost`` monitor event lands on the run artifact.
+
+    *heartbeat_s* overrides the worker heartbeat period (telemetry-bus
+    campaigns only); *chunksize* is accepted for backward compatibility
+    and ignored — items are split into ``processes`` contiguous shards,
+    one telemetry lane each.
     """
+    del chunksize  # sharding replaced chunked Pool.map in PR 7
     items = list(items)
     seeds = spawn_seeds(seed, len(items))
+    pairs = list(zip(items, seeds))
     capture = obs.enabled()
-    payloads = [(fn, item, s, kwargs, capture) for item, s in zip(items, seeds)]
     if processes is None:
         processes = min(len(items), mp.cpu_count()) or 1
     inline = processes <= 1 or len(items) <= 1
-    with obs.span("parallel/map", items=len(items),
-                  processes=1 if inline else processes):
+    shards = 1 if inline else min(processes, len(items))
+    from repro.obs import runtime
+    from repro.obs.bus import DEFAULT_HEARTBEAT_S
+
+    recorder = runtime.get_recorder() if capture else None
+    hb_s = DEFAULT_HEARTBEAT_S if heartbeat_s is None else float(heartbeat_s)
+    with obs.span("parallel/map", items=len(items), processes=shards):
         if inline:
-            outs = [_call(p) for p in payloads]
+            sender = heartbeat = None
+            if recorder is not None:
+                from repro.obs.bus import worker_telemetry
+
+                sender, heartbeat = worker_telemetry(
+                    0, recorder=recorder, items_total=len(items),
+                    heartbeat_s=hb_s,
+                )
+            outs = _run_shard(0, fn, pairs, kwargs, capture, sender, heartbeat)
         else:
-            ctx = (
-                mp.get_context("fork")
-                if "fork" in mp.get_all_start_methods()
-                else mp.get_context()
+            outs = _pooled_map(
+                fn, pairs, kwargs, capture, shards, recorder, hb_s
             )
-            with ctx.Pool(processes=processes) as pool:
-                outs = pool.map(_call, payloads, chunksize=chunksize)
     if capture:
         reg = obs.metrics()
         reg.counter("parallel.replicas").inc(len(items))
@@ -92,3 +203,68 @@ def parallel_replica_map(
             if snap:
                 reg.merge(snap)
     return [result for result, _ in outs]
+
+
+def _pooled_map(fn, pairs, kwargs, capture, shards, recorder, heartbeat_s):
+    """Run the sharded pool, bus-connected when a recorder is active."""
+    from repro.obs import runtime
+    from repro.obs.bus import TelemetryBus
+
+    ctx = (
+        mp.get_context("fork")
+        if "fork" in mp.get_all_start_methods()
+        else mp.get_context()
+    )
+    bus = (
+        TelemetryBus(recorder, ctx, heartbeat_s=heartbeat_s).start()
+        if recorder is not None
+        else None
+    )
+    payloads = [
+        (k, fn, pairs[start:stop], kwargs, capture)
+        for k, (start, stop) in enumerate(_shard_slices(len(pairs), shards))
+    ]
+    shard_outs: list[list | None] = [None] * len(payloads)
+    lost: set[int] = set()
+    broken: BrokenProcessPool | None = None
+    try:
+        with ProcessPoolExecutor(
+            max_workers=shards,
+            mp_context=ctx,
+            initializer=_bus_worker_init,
+            initargs=(
+                bus.queue if bus is not None else None,
+                capture,
+                runtime.probe_interval(),
+                heartbeat_s,
+            ),
+        ) as ex:
+            futures = [ex.submit(_call_shard, p) for p in payloads]
+            for k, fut in enumerate(futures):
+                try:
+                    shard_outs[k] = fut.result()
+                except BrokenProcessPool as e:
+                    # A killed worker breaks the whole pool; keep
+                    # collecting so every dead lane is accounted for.
+                    broken = e
+                    lost.add(k)
+    finally:
+        if bus is not None:
+            expected = set(range(len(payloads))) - lost
+            bus.finish(expected)
+            # A shard whose bye made it onto the queue finished its work
+            # even if the pool broke before its result transferred; only
+            # silent lanes are reported lost.
+            for k in sorted(lost - bus.byes):
+                recorder.record_monitor(
+                    {
+                        "monitor": "worker_lost",
+                        "series": "parallel/workers",
+                        "items": len(payloads[k][2]),
+                        "shards": len(payloads),
+                    },
+                    worker=k,
+                )
+    if broken is not None:
+        raise broken
+    return [pair for out in shard_outs for pair in (out or [])]
