@@ -7,7 +7,7 @@ PYPATH = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: install test test-all test-fast bench bench-quick bench-diff \
 	bench-pytest bench-trend obs-index campaign engines-check examples \
-	report report-paper verify verify-full all
+	report report-paper verify verify-full resume-smoke all
 
 install:
 	$(PY) setup.py develop
@@ -72,5 +72,12 @@ verify:
 
 verify-full:
 	$(PYPATH) $(PY) -m repro verify --full
+
+# Crash-injection + resume byte-diff suite and the save_every=0
+# overhead gate (same subset as the CI resume-smoke job; see
+# docs/CHECKPOINT.md).
+resume-smoke:
+	$(PYPATH) $(PY) -m pytest tests/test_checkpoint_resume.py -q
+	$(PYPATH) $(PY) -m pytest benchmarks/bench_checkpoint.py -q --benchmark-disable -k overhead_ratio
 
 all: test bench

@@ -68,6 +68,71 @@ def _vectorized_recovery_shard(
     return bp.recovery_times(target_max_load, max_steps)
 
 
+def _scalar_serial_checkpointed(
+    rule,
+    scenario,
+    start,
+    target_max_load,
+    replicas,
+    max_steps,
+    seed,
+    checkpointer,
+    resume_state,
+):
+    """The serial scalar loop, chunked at the checkpoint cadence.
+
+    Each replica runs ``run_until`` in chunks of ``save_every`` steps
+    and offers a save at every chunk boundary.  Chunking is invisible
+    in the artifact: probes key off the process's *global* step
+    counter, the RNG stream is untouched by chunk boundaries, and the
+    per-chunk metrics accounting sums to the single-call total — so
+    ``save_every > 0`` produces byte-identical telemetry to the legacy
+    single-call path (pinned by ``tests/test_checkpoint_resume.py``).
+    """
+    make = ScenarioAProcess if scenario == "a" else ScenarioBProcess
+    times = np.full(replicas, -1, dtype=np.int64)
+    k0 = 0
+    if resume_state is not None:
+        times[:] = np.asarray(resume_state["times"], dtype=np.int64)
+        k0 = int(resume_state["replica"])
+    chunk_size = (
+        checkpointer.save_every
+        if checkpointer is not None and checkpointer.save_every > 0
+        else max_steps
+    )
+    for k, rng in enumerate(spawn_generators(seed, replicas)):
+        if k < k0:
+            continue  # completed before the checkpoint; times restored
+        proc = make(rule, start.copy(), seed=rng)
+        steps_done = 0
+        if resume_state is not None and k == k0:
+            proc.load_state(resume_state["engine"])
+            steps_done = int(resume_state["steps_done"])
+        while True:
+            chunk = min(chunk_size, max_steps - steps_done)
+            hit = proc.run_until(
+                lambda v: int(v[0]) <= target_max_load, chunk
+            )
+            if hit >= 0:
+                times[k] = steps_done + hit
+                break
+            steps_done += chunk
+            if steps_done >= max_steps:
+                break  # cap hit: times[k] stays -1
+            if checkpointer is not None:
+                checkpointer.maybe_save(
+                    steps_done,
+                    lambda: {
+                        "path": "scalar-serial",
+                        "replica": k,
+                        "steps_done": steps_done,
+                        "times": times.copy(),
+                        "engine": proc.state_dict(),
+                    },
+                )
+    return times
+
+
 def recovery_times_balls(
     rule: SchedulingRule,
     n: int,
@@ -82,6 +147,10 @@ def recovery_times_balls(
     seed: SeedLike = None,
     processes: int | None = 1,
     heartbeat_s: float | None = None,
+    checkpointer=None,
+    resume_state: dict | None = None,
+    fleet_ckpt=None,
+    restart_lost: int = 0,
 ) -> np.ndarray:
     """Steps from the crash state until max load ≤ *target_max_load*.
 
@@ -104,6 +173,16 @@ def recovery_times_balls(
     streams, deterministic for a fixed ``(seed, processes)`` pair.
     Under ``observe_run`` each worker becomes a telemetry-bus lane
     (live probe points + heartbeats, period *heartbeat_s*).
+
+    Checkpoint/resume (see :mod:`repro.checkpoint`): *checkpointer*
+    (a :class:`~repro.checkpoint.manager.Checkpointer`) turns on
+    step-granularity saves in the single-process paths, and
+    *resume_state* (the checkpoint's ``state`` payload) continues the
+    exact trajectory mid-flight.  Fanned-out fleets checkpoint at item
+    granularity instead: *fleet_ckpt*
+    (a :class:`~repro.checkpoint.manager.FleetCheckpoint`) makes each
+    worker commit per-shard progress after every completed item, and
+    *restart_lost* > 0 replays killed shards in a fresh pool.
     """
     if start is None:
         start = LoadVector.all_in_one(m, n)
@@ -122,6 +201,8 @@ def recovery_times_balls(
                 seed=seed,
                 processes=len(sizes),
                 heartbeat_s=heartbeat_s,
+                fleet_ckpt=fleet_ckpt,
+                restart_lost=restart_lost,
                 rule=rule,
                 scenario=scenario,
                 start=start,
@@ -136,7 +217,14 @@ def recovery_times_balls(
 
         builder = scenario_a_spec if scenario == "a" else scenario_b_spec
         bp = VectorizedEngine.make(builder(rule), start, replicas, seed=seed)
-        return bp.recovery_times(target_max_load, max_steps)
+        if resume_state is not None:
+            bp.load_state(resume_state["engine"], probe_target=target_max_load)
+        return bp.recovery_times(
+            target_max_load,
+            max_steps,
+            checkpointer=checkpointer,
+            resume=resume_state["loop"] if resume_state is not None else None,
+        )
     if engine != "scalar":
         raise ValueError(f"engine must be 'scalar' or 'vectorized', got {engine!r}")
     if fan_out:
@@ -148,6 +236,8 @@ def recovery_times_balls(
             seed=seed,
             processes=processes,
             heartbeat_s=heartbeat_s,
+            fleet_ckpt=fleet_ckpt,
+            restart_lost=restart_lost,
             rule=rule,
             scenario=scenario,
             start=start,
@@ -155,6 +245,11 @@ def recovery_times_balls(
             max_steps=max_steps,
         )
         return np.asarray(times_list, dtype=np.int64)
+    if checkpointer is not None or resume_state is not None:
+        return _scalar_serial_checkpointed(
+            rule, scenario, start, target_max_load,
+            replicas, max_steps, seed, checkpointer, resume_state,
+        )
     times = np.empty(replicas, dtype=np.int64)
     make: Callable[..., DynamicAllocationProcess]
     make = ScenarioAProcess if scenario == "a" else ScenarioBProcess

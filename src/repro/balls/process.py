@@ -148,6 +148,49 @@ class DynamicAllocationProcess(ABC):
             self._chain_probe = probe
         return probe
 
+    # -- checkpoint/resume -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Full simulator state for checkpoint/resume.
+
+        Captures the load array, the RNG's ``bit_generator.state``, the
+        step count, and — when the lazily built chain probe exists —
+        its streaming-estimator and monitor state.  Derived fast-path
+        mirrors (Fenwick tree, nonempty count) are *not* captured; they
+        are rebuilt from the loads on :meth:`load_state`.
+        """
+        state: dict = {
+            "loads": self._v.copy(),
+            "rng": self._rng.bit_generator.state,
+            "t": self._t,
+        }
+        probe = getattr(self, "_chain_probe", None)
+        if probe is not None:
+            state["probe"] = probe.state_dict()
+        return state
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot onto this simulator.
+
+        The simulator must have been constructed for the same spec and
+        shape (same n); resuming then continues the exact trajectory of
+        the checkpointed run, RNG stream included.
+        """
+        v = np.asarray(state["loads"], dtype=np.int64)
+        if v.shape != self._v.shape:
+            raise ValueError(
+                f"checkpoint has n={v.shape[0]}, process has n={self._v.shape[0]}"
+            )
+        self._v[:] = v
+        self._rng.bit_generator.state = state["rng"]
+        self._t = int(state["t"])
+        self._sync_derived()
+        if "probe" in state:
+            self._get_probe().load_state(state["probe"])
+
+    def _sync_derived(self) -> None:
+        """Rebuild any fast-path mirrors of the load array (subclass hook)."""
+
     # -- the process ----------------------------------------------------------
 
     @abstractmethod

@@ -1,0 +1,53 @@
+"""Checkpoint/resume for engines, campaigns, and verification runs.
+
+Layers (see docs/CHECKPOINT.md):
+
+* :mod:`repro.checkpoint.store` — schema-versioned atomic
+  ``checkpoint.json[.npz]`` files (write-temp-then-rename; every crash
+  window leaves a consistent pair on disk);
+* :mod:`repro.checkpoint.manager` — the :class:`Checkpointer`
+  scheduler (``save_every`` cadence, SIGTERM-to-save, crash-injection
+  hooks), plus :class:`FleetCheckpoint` for pooled shards;
+* :mod:`repro.checkpoint.campaign` — resumable campaign orchestration
+  over all three engines;
+* :mod:`repro.checkpoint.resume` — the ``repro resume <run-dir>``
+  entry point, dispatching on the checkpoint's ``kind`` tag.
+
+The contract: a run killed at any step (SIGKILL mid-write included)
+and resumed produces artifacts byte-identical to an uninterrupted
+run's.  ``tests/crashkit.py`` is the enforcement harness.
+"""
+
+from repro.checkpoint.manager import (
+    Checkpointer,
+    CheckpointInterrupt,
+    FleetCheckpoint,
+    SimulatedCrash,
+    set_crash_hook,
+)
+from repro.checkpoint.resume import resume
+from repro.checkpoint.store import (
+    CHECKPOINT_FILE,
+    CHECKPOINT_SCHEMA,
+    checkpoint_step,
+    load_checkpoint,
+    read_json_npz,
+    save_checkpoint,
+    write_json_npz,
+)
+
+__all__ = [
+    "CHECKPOINT_FILE",
+    "CHECKPOINT_SCHEMA",
+    "Checkpointer",
+    "CheckpointInterrupt",
+    "FleetCheckpoint",
+    "SimulatedCrash",
+    "checkpoint_step",
+    "load_checkpoint",
+    "read_json_npz",
+    "resume",
+    "save_checkpoint",
+    "set_crash_hook",
+    "write_json_npz",
+]

@@ -21,6 +21,9 @@ Commands:
   ``benchmarks/bench_*.py``, times them with warmup + repeats and
   RSS/CPU sampling, and writes a ``BENCH_<timestamp>_<gitrev>.json``
   perf artifact; ``bench list`` shows what would run);
+* ``resume``   — continue an interrupted checkpointed run
+  (``campaign --save-every`` / ``verify --checkpoint``) in place; the
+  finished artifact is byte-identical to an uninterrupted run's;
 * ``obs``      — inspect recorded perf/run artifacts:
   ``obs summarize <run-dir>`` prints the timing/convergence report,
   ``obs watch <run-dir>`` live-tails a probed run's
@@ -135,6 +138,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, metavar="DIR",
         help="record a run artifact + certificates.json into DIR",
     )
+    p.add_argument(
+        "--checkpoint", action="store_true",
+        help="checkpoint after each certificate (requires --out); a "
+        "SIGTERM-interrupted run resumes with 'repro resume DIR'",
+    )
 
     p = sub.add_parser("diagnose", help="mixing diagnostics of a small exact chain")
     p.add_argument("--chain", choices=("a", "b", "edge"), default="a")
@@ -166,7 +174,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--d", type=int, default=2,
                    help="choices per allocation (ABKU rule, default 2)")
     p.add_argument("--scenario", choices=("a", "b"), default="a")
-    p.add_argument("--engine", choices=("scalar", "vectorized"),
+    p.add_argument("--engine", choices=("scalar", "vectorized", "exact"),
                    default="scalar")
     p.add_argument("--replicas", type=int, default=8)
     p.add_argument("--processes", type=int, default=2,
@@ -183,6 +191,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run directory (default runs/<stamp>-campaign)")
     p.add_argument("--trace", action="store_true",
                    help="also record span events (events.jsonl)")
+    p.add_argument("--save-every", type=int, default=0, metavar="K",
+                   help="checkpoint every K steps (pooled runs: per fleet "
+                   "item); 0 = no checkpointing (default). SIGTERM saves at "
+                   "the next boundary and finalizes a resumable artifact")
+    p.add_argument("--eps", type=float, default=0.25,
+                   help="TV-recovery threshold for --engine exact "
+                   "(default 0.25)")
+    p.add_argument("--restart-lost", type=int, default=0, metavar="N",
+                   help="pooled runs: survive up to N killed workers by "
+                   "replaying their shards from the fleet checkpoint")
+
+    p = sub.add_parser(
+        "resume",
+        help="continue an interrupted checkpointed run in its run directory",
+    )
+    p.add_argument("run_dir", help="run directory holding checkpoint.json")
 
     p = sub.add_parser("bench", help="unified benchmark runner")
     bench_sub = p.add_subparsers(dest="bench_command", required=True)
@@ -425,13 +449,29 @@ def _cmd_report(args) -> int:
 def _cmd_verify(args) -> int:
     from repro.verify import VerifyConfig, run_verification
 
+    if args.checkpoint and args.out is None:
+        print("error: --checkpoint requires --out DIR", file=sys.stderr)
+        return 2
     factory = VerifyConfig.full if args.full else VerifyConfig.quick
     overrides = {"seed": args.seed, "battery": not args.no_battery, "out": args.out}
     for key in ("n", "m", "edge_n"):
         value = getattr(args, key)
         if value is not None:
             overrides[key] = value
-    result = run_verification(factory(**overrides))
+    if args.checkpoint:
+        from repro.checkpoint import CheckpointInterrupt
+
+        try:
+            result = run_verification(factory(**overrides), checkpoint=True)
+        except CheckpointInterrupt as ci:
+            print(
+                f"interrupted after certificate {ci.step}; resume with:\n"
+                f"  python -m repro resume {args.out}",
+                file=sys.stderr,
+            )
+            return 3
+    else:
+        result = run_verification(factory(**overrides))
     if args.json:
         print(result.to_json(), end="")
     else:
@@ -487,9 +527,37 @@ def _cmd_diagnose(args) -> int:
     return 0
 
 
+def _print_campaign_summary(summary: dict) -> int:
+    """Render a campaign summary dict; returns the exit code."""
+    from repro.utils.tables import Table
+
+    out = summary["run_dir"]
+    if summary.get("interrupted") is not None:
+        print(
+            f"interrupted: checkpointed at step {summary['interrupted']}; "
+            f"resume with:\n  python -m repro resume {out}",
+            file=sys.stderr,
+        )
+        return 3
+    meta = summary["meta"]
+    t = Table(
+        ["n", "m", "scenario", "engine", "replicas", "procs",
+         "target", "median T", "q95 T", "capped", "wall s"],
+        title="campaign summary",
+    )
+    t.add_row([
+        meta["n"], meta["m"], meta["scenario"], meta["engine"],
+        meta["replicas"], meta["processes"], summary["target_max_load"],
+        summary["median"], summary["q95"], summary["capped"],
+        summary["wall_s"],
+    ])
+    print(t.render())
+    print(f"export metrics:  python -m repro obs export {out}")
+    return 0 if summary["capped"] == 0 else 1
+
+
 def _cmd_campaign(args) -> int:
     from repro.experiments.campaign import default_campaign_dir, run_campaign
-    from repro.utils.tables import Table
 
     out = args.out or default_campaign_dir()
     print(f"campaign run dir: {out}")
@@ -509,22 +577,33 @@ def _cmd_campaign(args) -> int:
         seed=args.seed,
         out=out,
         trace=args.trace,
+        save_every=args.save_every,
+        eps=args.eps,
+        restart_lost=args.restart_lost,
     )
-    meta = summary["meta"]
-    t = Table(
-        ["n", "m", "scenario", "engine", "replicas", "procs",
-         "target", "median T", "q95 T", "capped", "wall s"],
-        title="campaign summary",
-    )
-    t.add_row([
-        meta["n"], meta["m"], meta["scenario"], meta["engine"],
-        meta["replicas"], meta["processes"], summary["target_max_load"],
-        summary["median"], summary["q95"], summary["capped"],
-        summary["wall_s"],
-    ])
-    print(t.render())
-    print(f"export metrics:  python -m repro obs export {out}")
-    return 0 if summary["capped"] == 0 else 1
+    return _print_campaign_summary(summary)
+
+
+def _cmd_resume(args) -> int:
+    from repro.checkpoint import CheckpointInterrupt, resume
+    from repro.verify.certificates import CertificateSet
+
+    try:
+        result = resume(args.run_dir)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except CheckpointInterrupt as ci:
+        print(
+            f"interrupted again at step {ci.step}; resume with:\n"
+            f"  python -m repro resume {args.run_dir}",
+            file=sys.stderr,
+        )
+        return 3
+    if isinstance(result, CertificateSet):
+        print(result.table())
+        return result.exit_code
+    return _print_campaign_summary(result)
 
 
 def _cmd_engines(args) -> int:
@@ -749,6 +828,7 @@ _COMMANDS = {
     "static": _cmd_static,
     "engines": _cmd_engines,
     "campaign": _cmd_campaign,
+    "resume": _cmd_resume,
     "bench": _cmd_bench,
     "obs": _cmd_obs,
 }

@@ -69,6 +69,26 @@ class SpecProcess(DynamicAllocationProcess):
             elif isinstance(self._law, BinRemoval):
                 self._s = int(np.searchsorted(-self._v, 0, side="left"))
 
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["relocations"] = self.relocations
+        return state
+
+    def load_state(self, state: dict) -> None:
+        super().load_state(state)
+        self.relocations = int(state.get("relocations", 0))
+
+    def _sync_derived(self) -> None:
+        # Rebuild the per-law fast-path mirrors from the restored loads
+        # (same construction as __init__; checkpoints never carry them).
+        self._fenwick = None
+        self._s = -1
+        if self.spec.p_relocate == 0.0:
+            if isinstance(self._law, BallRemoval):
+                self._fenwick = FenwickTree(self._v)
+            elif isinstance(self._law, BinRemoval):
+                self._s = int(np.searchsorted(-self._v, 0, side="left"))
+
     def _obs_account(self, steps: int) -> None:
         super()._obs_account(steps)
         reg = obs.metrics()
@@ -215,6 +235,37 @@ class OpenSpecProcess:
             )
             self._chain_probe = probe
         return probe
+
+    def state_dict(self) -> dict:
+        """Open-system state for checkpoint/resume (loads, RNG, phase)."""
+        state: dict = {
+            "loads": self._v.copy(),
+            "rng": self._rng.bit_generator.state,
+            "t": self._t,
+        }
+        probe = getattr(self, "_chain_probe", None)
+        if probe is not None:
+            state["probe"] = probe.state_dict()
+        return state
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot onto this simulator.
+
+        The probe's recovery envelope was pinned to the ball count at
+        probe *creation*; its monitor state (threshold included) rides
+        along in the snapshot, so a resumed open run keeps the original
+        envelope even though ``self.m`` has drifted since.
+        """
+        v = np.asarray(state["loads"], dtype=np.int64)
+        if v.shape != self._v.shape:
+            raise ValueError(
+                f"checkpoint has n={v.shape[0]}, process has n={self._v.shape[0]}"
+            )
+        self._v[:] = v
+        self._rng.bit_generator.state = state["rng"]
+        self._t = int(state["t"])
+        if "probe" in state:
+            self._get_probe().load_state(state["probe"])
 
     def run(self, steps: int) -> "OpenSpecProcess":
         """Execute *steps* steps; returns self."""

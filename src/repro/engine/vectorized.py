@@ -249,6 +249,47 @@ class VectorizedProcess:
             self._fleet_probe = probe
         return probe
 
+    # -- checkpoint/resume -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Full fleet state for checkpoint/resume.
+
+        The (R, n) load matrix, the RNG's ``bit_generator.state``, the
+        step count, the relocation counter, and — when the lazily built
+        fleet probe exists — its estimator/monitor state.
+        """
+        state: dict = {
+            "V": self._V.copy(),
+            "rng": self._rng.bit_generator.state,
+            "t": self._t,
+            "relocations": self.relocations,
+        }
+        probe = getattr(self, "_fleet_probe", None)
+        if probe is not None:
+            state["probe"] = probe.state_dict()
+        return state
+
+    def load_state(self, state: dict, *, probe_target: int | None = None) -> None:
+        """Restore a :meth:`state_dict` snapshot onto this fleet.
+
+        The fleet must have been constructed with the same (R, n) shape.
+        *probe_target* mirrors the ``recovery_times`` target so the
+        rebuilt probe carries the same whole-fleet monitor layout the
+        checkpointed one had (monitor envelopes then restore exactly
+        from the snapshot).
+        """
+        V = np.asarray(state["V"], dtype=np.int64)
+        if V.shape != self._V.shape:
+            raise ValueError(
+                f"checkpoint fleet shape {V.shape} != process shape {self._V.shape}"
+            )
+        self._V[:] = V
+        self._rng.bit_generator.state = state["rng"]
+        self._t = int(state["t"])
+        self.relocations = int(state.get("relocations", 0))
+        if "probe" in state:
+            self._get_probe(probe_target).load_state(state["probe"])
+
     def run(self, steps: int) -> "VectorizedProcess":
         """Advance all replicas *steps* phases; returns self."""
         if steps < 0:
@@ -272,7 +313,14 @@ class VectorizedProcess:
         self._obs_account(steps)
         return self
 
-    def recovery_times(self, target_max_load: int, max_steps: int) -> np.ndarray:
+    def recovery_times(
+        self,
+        target_max_load: int,
+        max_steps: int,
+        *,
+        checkpointer=None,
+        resume: dict | None = None,
+    ) -> np.ndarray:
         """Per-replica first time max load ≤ target (−1 where cap hit).
 
         Replicas that have recovered keep running (the matrix advances
@@ -280,15 +328,30 @@ class VectorizedProcess:
         observability, the recovered fraction and fleet-mean max load
         are recorded at power-of-two checkpoints (series
         ``batch/recovered_fraction``, ``batch/max_load_mean``).
+
+        *checkpointer* (duck-typed: ``maybe_save(step, payload_fn)``)
+        is offered a snapshot after each step's emissions; the payload's
+        ``"loop"`` entry plus :meth:`state_dict` is exactly what a later
+        call must pass back as *resume* (after :meth:`load_state`) to
+        continue the identical trajectory.  Metrics stay deterministic
+        because this loop accounts once at the end with the absolute
+        ``executed`` count.
         """
         observing = obs.enabled()
         every = obs.probe_interval() if observing else 0
         probe = self._get_probe(target_max_load) if every > 0 else None
-        times = np.full(self._R, -1, dtype=np.int64)
-        done = self._V[:, 0] <= target_max_load
-        times[done] = 0
-        executed = 0
-        for k in range(1, max_steps + 1):
+        if resume is not None:
+            times = np.asarray(resume["times"], dtype=np.int64).copy()
+            done = np.asarray(resume["done"], dtype=bool).copy()
+            executed = int(resume["executed"])
+            k0 = int(resume["k"])
+        else:
+            times = np.full(self._R, -1, dtype=np.int64)
+            done = self._V[:, 0] <= target_max_load
+            times[done] = 0
+            executed = 0
+            k0 = 0
+        for k in range(k0 + 1, max_steps + 1):
             if done.all():
                 break
             self.step()
@@ -302,6 +365,19 @@ class VectorizedProcess:
                 obs.record_sample("batch/recovered_fraction", k, float(done.mean()))
                 obs.record_sample(
                     "batch/max_load_mean", k, float(self._V[:, 0].mean())
+                )
+            if checkpointer is not None:
+                checkpointer.maybe_save(
+                    k,
+                    lambda: {
+                        "engine": self.state_dict(),
+                        "loop": {
+                            "k": k,
+                            "executed": executed,
+                            "times": times.copy(),
+                            "done": done.copy(),
+                        },
+                    },
                 )
         if observing:
             self._obs_account(executed)

@@ -88,7 +88,7 @@ class BusSender:
     """
 
     __slots__ = ("worker", "_queue", "_recorder", "points_sent", "items_done",
-                 "items_total")
+                 "items_total", "records_sent", "monitors_sent")
 
     def __init__(self, worker: int, *, queue: Any = None, recorder: Any = None):
         if (queue is None) == (recorder is None):
@@ -99,12 +99,18 @@ class BusSender:
         self.points_sent = 0
         self.items_done = 0
         self.items_total = 0
+        #: Lane stream cursors for shard checkpoints: total records
+        #: shipped to the timeseries stream (points + monitors, lane
+        #: FIFO order) and monitor events shipped to the event stream.
+        self.records_sent = 0
+        self.monitors_sent = 0
 
     # -- the recorder surface the runtime hooks use ---------------------------
 
     def record_point(self, series: str, step: int, stats: dict) -> None:
         """Ship one decimated probe point, tagged with this worker's lane."""
         self.points_sent += 1
+        self.records_sent += 1
         if self._queue is not None:
             self._queue.put(("point", self.worker, series, int(step), stats))
         else:
@@ -112,6 +118,8 @@ class BusSender:
 
     def record_monitor(self, event: dict) -> None:
         """Ship one recovery-monitor event, tagged with this worker's lane."""
+        self.records_sent += 1
+        self.monitors_sent += 1
         if self._queue is not None:
             self._queue.put(("monitor", self.worker, dict(event)))
         else:

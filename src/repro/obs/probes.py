@@ -108,6 +108,32 @@ class ThresholdMonitor:
         runtime.record_monitor(event)
         return event
 
+    def state_dict(self) -> dict:
+        """Checkpoint state: the one-shot flag plus the envelope config.
+
+        The envelope rides along because open systems pin it to the
+        ball count at probe *creation* — a freshly constructed monitor
+        on resume would otherwise re-derive it from drifted state.
+        """
+        return {
+            "fired": self.fired,
+            "threshold": self.threshold,
+            "bound_step": self.bound_step,
+            # Pairs, not a dict: the checkpoint JSON sorts object keys,
+            # and the emission order of ``extra`` must survive a resume
+            # for the byte-identical-artifact invariant to hold.
+            "extra": [[k, v] for k, v in self.extra.items()],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        self.fired = bool(state["fired"])
+        if "threshold" in state:
+            self.threshold = float(state["threshold"])
+            bound = state.get("bound_step")
+            self.bound_step = None if bound is None else int(bound)
+            self.extra = dict(state.get("extra") or {})
+
 
 def max_load_recovery_monitor(
     series: str, n: int, m: int, *, eps: float = 0.25
@@ -200,6 +226,25 @@ class ChainProbe:
         for mon in self.monitors:
             mon.observe(step, vmax)
 
+    def state_dict(self) -> dict:
+        """Full estimator + monitor state for checkpoint/resume."""
+        return {
+            "max_stats": self.max_stats.state_dict(),
+            "max_extrema": self.max_extrema.state_dict(),
+            "max_p90": self.max_p90.state_dict(),
+            "hist": self.hist.state_dict(),
+            "monitors": [m.state_dict() for m in self.monitors],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (same monitor layout)."""
+        self.max_stats.load_state(state["max_stats"])
+        self.max_extrema.load_state(state["max_extrema"])
+        self.max_p90.load_state(state["max_p90"])
+        self.hist.load_state(state["hist"])
+        for mon, mstate in zip(self.monitors, state["monitors"]):
+            mon.load_state(mstate)
+
 
 class FleetProbe:
     """Telemetry for a vectorized fleet (an (R, n) descending load matrix).
@@ -240,6 +285,23 @@ class FleetProbe:
         for mon in self.monitors:
             mon.observe(step, fleet_max)
 
+    def state_dict(self) -> dict:
+        """Full estimator + monitor state for checkpoint/resume."""
+        return {
+            "mean_stats": self.mean_stats.state_dict(),
+            "max_p90": self.max_p90.state_dict(),
+            "hist": self.hist.state_dict(),
+            "monitors": [m.state_dict() for m in self.monitors],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (same monitor layout)."""
+        self.mean_stats.load_state(state["mean_stats"])
+        self.max_p90.load_state(state["max_p90"])
+        self.hist.load_state(state["hist"])
+        for mon, mstate in zip(self.monitors, state["monitors"]):
+            mon.load_state(mstate)
+
 
 class DistributionProbe:
     """Telemetry for an exactly-evolved distribution μ_t over a finite chain.
@@ -276,3 +338,19 @@ class DistributionProbe:
         for mon in self.monitors:
             mon.observe(step, tv)
         return tv
+
+    def state_dict(self) -> dict:
+        """Full estimator + monitor state for checkpoint/resume."""
+        return {
+            "tv_stats": self.tv_stats.state_dict(),
+            "last_tv": self._last_tv,
+            "monitors": [m.state_dict() for m in self.monitors],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (same monitor layout)."""
+        self.tv_stats.load_state(state["tv_stats"])
+        last = state["last_tv"]
+        self._last_tv = None if last is None else float(last)
+        for mon, mstate in zip(self.monitors, state["monitors"]):
+            mon.load_state(mstate)

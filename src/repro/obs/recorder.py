@@ -49,6 +49,7 @@ __all__ = [
     "RunRecorder",
     "RunArtifact",
     "observe_run",
+    "observe_resumed_run",
     "load_run",
     "git_revision",
     "gc_runs",
@@ -104,7 +105,13 @@ def git_revision(start_dir: str | None = None) -> str | None:
 class RunRecorder:
     """Streams run events to ``<run_dir>/events.jsonl`` and keeps them in memory."""
 
-    def __init__(self, run_dir: str, *, meta: dict | None = None):
+    def __init__(
+        self,
+        run_dir: str,
+        *,
+        meta: dict | None = None,
+        _resume: dict | None = None,
+    ):
         self.run_dir = run_dir
         os.makedirs(run_dir, exist_ok=True)
         self.meta: dict[str, Any] = dict(meta or {})
@@ -115,18 +122,165 @@ class RunRecorder:
         self.monitors: list[dict] = []
         self._started_wall = time.time()
         self._started_perf = time.perf_counter()
-        self._file = open(os.path.join(run_dir, "events.jsonl"), "w")
         self._ts_file: Any = None  # lazily opened on the first point
         self._ts_header: dict | None = None
         #: Every timeseries record with its lane key (-1 = the parent),
         #: kept so :meth:`finish` can canonicalize a multi-lane stream.
         self._ts_records: list[tuple[int, dict]] = []
         self._hb_file: Any = None  # lazily opened on the first heartbeat
+        self._hb_append = False
+        #: Forces an events.jsonl rewrite at finish (set by lane
+        #: truncation, which edits the in-memory list past the file).
+        self._events_dirty = False
         self._closed = False
         # Background producers (the bench resource sampler) emit from
         # their own thread; serialize writes against the main thread.
         self._write_lock = threading.Lock()
+        if _resume is None:
+            self._file = open(os.path.join(run_dir, "events.jsonl"), "w")
+        else:
+            self._load_resume(_resume)
         self._install_exit_flush()
+
+    @classmethod
+    def resume(
+        cls, run_dir: str, *, meta: dict | None = None, keep: dict | None = None
+    ) -> "RunRecorder":
+        """Reopen an interrupted run's artifact for append-after-resume.
+
+        Existing streams are parsed tolerantly (a line truncated by the
+        kill is dropped), the post-checkpoint tail is truncated per
+        *keep*, the files are rewritten in place, and the recorder then
+        appends as usual — so the finished artifact is byte-identical
+        to an uninterrupted run's.
+
+        *keep* fields (all optional):
+
+        * ``"events"`` — keep only the first N ``events.jsonl`` lines
+          (single-lane runs: the parent checkpoint's event cursor);
+        * ``"monitors"`` — ``{lane: count}`` monitor-event quotas
+          (pooled fleets: per-shard cursors; lanes absent from the map
+          are dropped entirely and replay);
+        * ``"lanes"`` — ``{lane: count}`` ``timeseries.jsonl`` record
+          quotas, same convention (lane ``-1`` is the parent).
+
+        ``worker_lost`` monitor events are always dropped: they
+        describe the attempt being resumed, not the resumed run.
+        """
+        return cls(run_dir, meta=meta, _resume=dict(keep or {}))
+
+    def _load_resume(self, keep: dict) -> None:
+        """Parse + truncate + rewrite the streams (constructor helper)."""
+        events_path = os.path.join(self.run_dir, "events.jsonl")
+        parsed: list[dict] = []
+        if os.path.exists(events_path):
+            with open(events_path) as f:
+                for line in f:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        event = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue  # the kill's torn tail line
+                    if isinstance(event, dict):
+                        parsed.append(event)
+        events_keep = keep.get("events")
+        monitor_quota = keep.get("monitors")
+        kept: list[dict] = []
+        if events_keep is not None:
+            for event in parsed[: int(events_keep)]:
+                if event.get("monitor") != "worker_lost":
+                    kept.append(event)
+        else:
+            remaining = {
+                int(k): int(v) for k, v in (monitor_quota or {}).items()
+            }
+            for event in parsed:
+                if event.get("type") != "monitor":
+                    kept.append(event)
+                    continue
+                if event.get("monitor") == "worker_lost":
+                    continue
+                lane = int(event.get("worker", -1))
+                if remaining.get(lane, 0) > 0:
+                    remaining[lane] -= 1
+                    kept.append(event)
+        self.events = kept
+        self.monitors = [e for e in kept if e.get("type") == "monitor"]
+        for event in kept:
+            if event.get("type") == "sample":
+                steps, values = self.series.setdefault(
+                    event["series"], ([], [])
+                )
+                steps.append(int(event["step"]))
+                values.append(float(event["value"]))
+        self._file = open(events_path, "w")
+        for event in kept:
+            self._file.write(json.dumps(event, separators=(",", ":")) + "\n")
+        self._file.flush()
+        # -- timeseries.jsonl --------------------------------------------------
+        ts_path = os.path.join(self.run_dir, TIMESERIES_FILE)
+        lane_quota = keep.get("lanes")
+        if os.path.exists(ts_path):
+            records: list[tuple[int, dict]] = []
+            lane_seen: dict[int, int] = {}
+            with open(ts_path) as f:
+                for line in f:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue  # torn tail
+                    if not isinstance(record, dict):
+                        continue
+                    if record.get("type") == "header":
+                        self._ts_header = record
+                        continue
+                    if record.get("monitor") == "worker_lost":
+                        continue
+                    lane = int(record.get("worker", -1))
+                    seen = lane_seen.get(lane, 0)
+                    lane_seen[lane] = seen + 1
+                    if lane_quota is not None and seen >= int(
+                        lane_quota.get(lane, lane_quota.get(str(lane), 0))
+                    ):
+                        continue
+                    records.append((lane, record))
+            self._ts_records = records
+            for lane, record in records:
+                if record.get("type") != "point":
+                    continue
+                key = (
+                    record["series"]
+                    if lane < 0
+                    else f"{record['series']}#w{lane}"
+                )
+                self.points[key] = self.points.get(key, 0) + 1
+            if self._ts_header is None and not records:
+                # Nothing parseable survived (killed before the header
+                # landed): start the stream from scratch, lazily, so
+                # the header picks up the resumed run's probe interval.
+                os.remove(ts_path)
+            else:
+                if self._ts_header is None:  # records without a header
+                    self._ts_header = {
+                        "type": "header",
+                        "schema": TIMESERIES_SCHEMA,
+                        "probe_every": runtime.probe_interval(),
+                    }
+                self._ts_file = open(ts_path, "w")
+                self._ts_file.write(
+                    json.dumps(self._ts_header, separators=(",", ":")) + "\n"
+                )
+                for _, record in self._ts_records:
+                    self._ts_file.write(
+                        json.dumps(record, separators=(",", ":")) + "\n"
+                    )
+                self._ts_file.flush()
+        self._hb_append = True
 
     # -- interrupted-run safety -----------------------------------------------
 
@@ -274,13 +428,20 @@ class RunRecorder:
             if self._closed:
                 return
             if self._hb_file is None:
-                self._hb_file = open(
-                    os.path.join(self.run_dir, HEARTBEAT_FILE), "w"
+                path = os.path.join(self.run_dir, HEARTBEAT_FILE)
+                # Resumed runs append: heartbeats are wall-clock truth,
+                # so the interrupted attempt's beats stay on record.
+                append = (
+                    self._hb_append
+                    and os.path.exists(path)
+                    and os.path.getsize(path) > 0
                 )
-                header = {"type": "header", "schema": HEARTBEAT_SCHEMA}
-                self._hb_file.write(
-                    json.dumps(header, separators=(",", ":")) + "\n"
-                )
+                self._hb_file = open(path, "a" if append else "w")
+                if not append:
+                    header = {"type": "header", "schema": HEARTBEAT_SCHEMA}
+                    self._hb_file.write(
+                        json.dumps(header, separators=(",", ":")) + "\n"
+                    )
             self._hb_file.write(json.dumps(record, separators=(",", ":")) + "\n")
             self._hb_file.flush()
 
@@ -299,6 +460,84 @@ class RunRecorder:
     def set_meta(self, **kv) -> None:
         """Merge key/value pairs into the run metadata."""
         self.meta.update(kv)
+
+    # -- checkpoint/resume cursors ---------------------------------------------
+
+    def stream_state(self) -> dict:
+        """Stream cursors for a checkpoint: what a resume must keep.
+
+        ``events`` counts ``events.jsonl`` lines, ``lanes`` counts
+        ``timeseries.jsonl`` records per lane (-1 = parent), and
+        ``monitors`` counts monitor events per lane — exactly the
+        *keep* argument :meth:`resume` consumes.
+        """
+        with self._write_lock:
+            lanes: dict[int, int] = {}
+            for lane, _ in self._ts_records:
+                lanes[lane] = lanes.get(lane, 0) + 1
+            monitors: dict[int, int] = {}
+            for event in self.events:
+                if event.get("type") == "monitor":
+                    lane = int(event.get("worker", -1))
+                    monitors[lane] = monitors.get(lane, 0) + 1
+            return {
+                "events": len(self.events),
+                "lanes": lanes,
+                "monitors": monitors,
+            }
+
+    def truncate_lane(self, worker: int, *, records: int, monitors: int) -> None:
+        """Drop a lane's tail past its shard checkpoint (worker restart).
+
+        Called by the fleet runner before re-dispatching a lane whose
+        worker died: everything the dead worker streamed after its last
+        committed shard checkpoint will be re-emitted by the replay, so
+        the in-memory copies are trimmed to the checkpoint's cursors
+        (``worker_lost`` markers for the lane go too).  The files are
+        reconciled at :meth:`finish` by the canonical rewrites.
+        """
+        lane = int(worker)
+        with self._write_lock:
+            kept_ts: list[tuple[int, dict]] = []
+            count = 0
+            for w, record in self._ts_records:
+                if w != lane:
+                    kept_ts.append((w, record))
+                    continue
+                if record.get("monitor") == "worker_lost":
+                    continue
+                if count < records:
+                    kept_ts.append((w, record))
+                    count += 1
+            self._ts_records = kept_ts
+            points: dict[str, int] = {}
+            for w, record in kept_ts:
+                if record.get("type") != "point":
+                    continue
+                key = (
+                    record["series"] if w < 0 else f"{record['series']}#w{w}"
+                )
+                points[key] = points.get(key, 0) + 1
+            self.points = points
+            kept_events: list[dict] = []
+            mcount = 0
+            for event in self.events:
+                if (
+                    event.get("type") == "monitor"
+                    and int(event.get("worker", -1)) == lane
+                ):
+                    if event.get("monitor") == "worker_lost":
+                        continue
+                    if mcount < monitors:
+                        kept_events.append(event)
+                        mcount += 1
+                    continue
+                kept_events.append(event)
+            self.events = kept_events
+            self.monitors = [
+                e for e in kept_events if e.get("type") == "monitor"
+            ]
+            self._events_dirty = True
 
     # -- finalization ----------------------------------------------------------
 
@@ -322,6 +561,27 @@ class RunRecorder:
             for _, record in ordered:
                 f.write(json.dumps(record, separators=(",", ":")) + "\n")
 
+    def _canonicalize_events(self) -> None:
+        """Rewrite ``events.jsonl`` in lane order (caller holds the lock).
+
+        Monitor events from a pooled fleet land in queue-arrival order,
+        which is wall-clock dependent — the same nondeterminism the
+        timeseries rewrite fixes.  A stable sort on the worker tag
+        (parent events, tagged -1, first) makes the finished file a
+        function of the seed.  Single-lane streams are untouched unless
+        a lane truncation made the in-memory list the only truth.
+        """
+        multi_lane = any("worker" in e for e in self.events)
+        if not (multi_lane or self._events_dirty):
+            return
+        ordered = sorted(
+            self.events, key=lambda e: int(e.get("worker", -1))
+        )
+        path = os.path.join(self.run_dir, "events.jsonl")
+        with open(path, "w") as f:
+            for event in ordered:
+                f.write(json.dumps(event, separators=(",", ":")) + "\n")
+
     def finish(self, *, status: str = "ok", metrics: dict | None = None) -> None:
         """Flush events and write ``meta.json`` (idempotent)."""
         with self._write_lock:
@@ -334,6 +594,7 @@ class RunRecorder:
             if self._hb_file is not None:
                 self._hb_file.close()
             self._canonicalize_timeseries()
+            self._canonicalize_events()
         self._teardown_exit_flush()
         meta = {
             "status": status,
@@ -545,6 +806,43 @@ def observe_run(
     raises.
     """
     rec = RunRecorder(run_dir, meta=meta)
+    yield from _observe(rec, trace=trace, probe_every=probe_every)
+
+
+@contextmanager
+def observe_resumed_run(
+    run_dir: str,
+    *,
+    meta: dict | None = None,
+    trace: bool = False,
+    probe_every: int = 0,
+    keep: dict | None = None,
+    metrics: dict | None = None,
+) -> Iterator[RunRecorder]:
+    """:func:`observe_run` for a run resumed from a checkpoint.
+
+    The recorder reopens the interrupted artifact via
+    :meth:`RunRecorder.resume` (truncating the post-checkpoint tail per
+    *keep*), and the scoped metrics registry is pre-seeded with the
+    checkpoint's *metrics* snapshot — so the finished artifact, its
+    series counts, and its counter totals are byte-identical to an
+    uninterrupted run's.
+    """
+    rec = RunRecorder.resume(run_dir, meta=meta, keep=keep)
+    rec.set_meta(resumed=True)
+    yield from _observe(
+        rec, trace=trace, probe_every=probe_every, metrics=metrics
+    )
+
+
+def _observe(
+    rec: RunRecorder,
+    *,
+    trace: bool,
+    probe_every: int,
+    metrics: dict | None = None,
+) -> Iterator[RunRecorder]:
+    """Shared switch dance of the fresh and resumed observers."""
     was_enabled = runtime.enabled()
     runtime.enable()
     prev_rec = runtime.set_recorder(rec)
@@ -552,6 +850,8 @@ def observe_run(
     prev_tracer = set_tracer(Tracer(sink=rec.emit)) if trace else None
     status = "error"
     with scoped_registry() as reg:
+        if metrics:
+            reg.merge(metrics)
         try:
             yield rec
             status = "ok"

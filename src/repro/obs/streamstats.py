@@ -82,6 +82,16 @@ class Welford:
         """JSON-friendly state for a timeseries point."""
         return {"n": self.n, "mean": self.mean, "std": self.std}
 
+    def state_dict(self) -> dict:
+        """Full internal state for checkpoint/resume (lossless)."""
+        return {"n": self.n, "mean": self.mean, "m2": self._m2}
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot exactly."""
+        self.n = int(state["n"])
+        self.mean = float(state["mean"])
+        self._m2 = float(state["m2"])
+
 
 class P2Quantile:
     """The P² streaming quantile estimator (Jain & Chlamtac 1985).
@@ -165,6 +175,27 @@ class P2Quantile:
         for x in xs:
             self.update(x)
 
+    def state_dict(self) -> dict:
+        """Full marker state for checkpoint/resume (lossless)."""
+        return {
+            "q": self.q,
+            "n": self.n,
+            "heights": list(self._heights),
+            "pos": list(self._pos),
+            "want": list(self._want),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot exactly."""
+        if float(state["q"]) != self.q:
+            raise ValueError(
+                f"P2Quantile state is for q={state['q']}, estimator has q={self.q}"
+            )
+        self.n = int(state["n"])
+        self._heights = [float(x) for x in state["heights"]]
+        self._pos = [float(x) for x in state["pos"]]
+        self._want = [float(x) for x in state["want"]]
+
     @property
     def value(self) -> float:
         """Current quantile estimate (exact while n <= 5)."""
@@ -236,6 +267,16 @@ class ExpHistogram:
             return (0, 0)
         return (1 << (j - 1), (1 << j) - 1)
 
+    def state_dict(self) -> dict:
+        """Sparse bucket counts for checkpoint/resume (lossless)."""
+        return {"counts": {str(k): c for k, c in self.nonzero().items()}}
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot exactly."""
+        self.counts = np.zeros(self.NBUCKETS, dtype=np.int64)
+        for k, c in state["counts"].items():
+            self.counts[int(k)] = int(c)
+
 
 class Extrema:
     """Running min/max/last tracker (the cheap part of every series)."""
@@ -261,3 +302,19 @@ class Extrema:
         if self.n == 0:
             return {"n": 0}
         return {"n": self.n, "min": self.min, "max": self.max, "last": self.last}
+
+    def state_dict(self) -> dict:
+        """Full state for checkpoint/resume (infinities encoded as None)."""
+        return {
+            "n": self.n,
+            "min": None if math.isinf(self.min) else self.min,
+            "max": None if math.isinf(self.max) else self.max,
+            "last": self.last,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot exactly."""
+        self.n = int(state["n"])
+        self.min = math.inf if state["min"] is None else float(state["min"])
+        self.max = -math.inf if state["max"] is None else float(state["max"])
+        self.last = float(state["last"])

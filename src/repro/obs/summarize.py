@@ -186,6 +186,17 @@ def render_artifact(artifact: RunArtifact) -> str:
                 "started_at", "duration_s", "git_rev", "python", "numpy"):
         if key in meta:
             head.append(f"  {key}: {meta[key]}")
+    if meta.get("status") not in ("ok", "error", "failed"):
+        from repro.checkpoint.store import checkpoint_step
+
+        ckpt_step = meta.get("last_checkpoint_step")
+        if ckpt_step is None:
+            ckpt_step = checkpoint_step(artifact.run_dir)
+        if ckpt_step is not None:
+            head.append(
+                f"  resumable at step {ckpt_step}: "
+                f"python -m repro resume {artifact.run_dir}"
+            )
     head.extend(f"  {w}" for w in _warnings(artifact))
     parts = ["\n".join(head)]
     certs = _certificate_table(artifact)

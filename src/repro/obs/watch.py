@@ -194,6 +194,17 @@ def render_frame(
     workers = workers_of(records)
     if workers:
         lines[0] += f", {len(workers)} worker lane(s)"
+    if status not in ("ok", "error", "failed"):
+        from repro.checkpoint.store import checkpoint_step
+
+        ckpt_step = meta.get("last_checkpoint_step")
+        if ckpt_step is None:
+            ckpt_step = checkpoint_step(run_dir)
+        if ckpt_step is not None:
+            lines.append(
+                f"  resumable at step {ckpt_step}: "
+                f"python -m repro resume {run_dir}"
+            )
     if corrupt:
         lines.append(f"  warning: {corrupt} corrupt line(s) skipped (truncated run?)")
     series = points_by_series(records)

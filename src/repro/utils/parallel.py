@@ -71,7 +71,8 @@ def _bus_worker_init(queue, enabled, probe_every, heartbeat_s) -> None:
         runtime.disable()
 
 
-def _run_shard(shard, fn, pairs, kwargs, capture, sender, heartbeat):
+def _run_shard(shard, fn, pairs, kwargs, capture, sender, heartbeat,
+               fleet_ckpt=None):
     """Run one shard's items; returns ``[(result, metrics_snapshot), ...]``.
 
     With *sender* installed as the active recorder, engine probe points
@@ -79,18 +80,43 @@ def _run_shard(shard, fn, pairs, kwargs, capture, sender, heartbeat):
     straight into the parent recorder on the inline path).  The shard
     always says ``bye`` on the way out — also when an item raises — so
     only a killed process leaves a silent lane.
+
+    With *fleet_ckpt* (a :class:`repro.checkpoint.manager.FleetCheckpoint`),
+    the shard resumes at item granularity: completed ``(result,
+    snapshot)`` pairs are preloaded from ``shards/shard-<k>.json`` and
+    skipped, the lane's stream cursors continue from the checkpointed
+    values, and every newly completed item commits an updated shard
+    file atomically.  Per-item spawned seed streams make the replay of
+    an interrupted item exact, so item granularity loses at most one
+    item of work and never determinism.
     """
+    import os as _os
+
     from repro.obs import runtime, set_tracer
     from repro.obs.metrics import scoped_registry
 
     outs: list[tuple[Any, dict | None]] = []
+    cursors: list[list[int]] = []
+    if fleet_ckpt is not None:
+        doc = fleet_ckpt.read(shard)
+        if doc:
+            outs = [(result, snap) for result, snap in doc.get("done", [])]
+            cursors = [list(map(int, c)) for c in doc.get("cursors", [])]
+            while len(cursors) < len(outs):  # pre-cursor shard docs
+                cursors.append([int(doc.get("records_sent", 0)),
+                                int(doc.get("monitors_sent", 0))])
+            if sender is not None:
+                sender.records_sent = int(doc.get("records_sent", 0))
+                sender.monitors_sent = int(doc.get("monitors_sent", 0))
     detach = capture or sender is not None
     prev_rec = runtime.set_recorder(sender) if detach else None
     prev_tracer = set_tracer(None) if detach else None
+    if sender is not None:
+        sender.items_done = len(outs)
     if heartbeat is not None:
         heartbeat.start()
     try:
-        for item, seed_seq in pairs:
+        for item, seed_seq in pairs[len(outs):]:
             if capture:
                 # Metrics go to a scratch registry that rides back with
                 # the result and merges in the parent, item by item.
@@ -101,6 +127,27 @@ def _run_shard(shard, fn, pairs, kwargs, capture, sender, heartbeat):
                 outs.append((fn(item, seed_seq, **kwargs), None))
             if sender is not None:
                 sender.items_done += 1
+            if fleet_ckpt is not None:
+                # Cumulative per-item stream cursors: a resume needs to
+                # know how much telemetry each *item* had shipped, so it
+                # can roll the lane back to the last item whose records
+                # the (possibly killed) parent actually wrote to disk.
+                cursors.append([
+                    sender.records_sent if sender is not None else 0,
+                    sender.monitors_sent if sender is not None else 0,
+                ])
+                fleet_ckpt.write(shard, {
+                    "done": [[result, snap] for result, snap in outs],
+                    "cursors": cursors,
+                    "records_sent":
+                        sender.records_sent if sender is not None else 0,
+                    "monitors_sent":
+                        sender.monitors_sent if sender is not None else 0,
+                })
+                if _os.environ.get("REPRO_CRASH_AT"):
+                    from repro.checkpoint.manager import crash_after_item
+
+                    crash_after_item()
     finally:
         if heartbeat is not None:
             heartbeat.stop()
@@ -117,7 +164,7 @@ def _run_shard(shard, fn, pairs, kwargs, capture, sender, heartbeat):
 
 def _call_shard(payload):
     """Pool entry point: build this shard's telemetry lane, run it."""
-    shard, fn, pairs, kwargs, capture = payload
+    shard, fn, pairs, kwargs, capture, fleet_ckpt = payload
     sender = heartbeat = None
     if _WORKER_QUEUE is not None:
         from repro.obs.bus import worker_telemetry
@@ -128,7 +175,8 @@ def _call_shard(payload):
             items_total=len(pairs),
             heartbeat_s=_WORKER_HEARTBEAT_S,
         )
-    return _run_shard(shard, fn, pairs, kwargs, capture, sender, heartbeat)
+    return _run_shard(shard, fn, pairs, kwargs, capture, sender, heartbeat,
+                      fleet_ckpt)
 
 
 def _shard_slices(n_items: int, shards: int) -> list[tuple[int, int]]:
@@ -151,6 +199,8 @@ def parallel_replica_map(
     processes: int | None = None,
     chunksize: int = 1,
     heartbeat_s: float | None = None,
+    fleet_ckpt=None,
+    restart_lost: int = 0,
     **kwargs,
 ) -> list[Any]:
     """Evaluate ``fn(item, seed_seq, **kwargs)`` for each item.
@@ -161,6 +211,15 @@ def parallel_replica_map(
     propagate to the caller on both paths; a worker process *killed*
     mid-shard raises :class:`~concurrent.futures.process.BrokenProcessPool`
     after a ``worker_lost`` monitor event lands on the run artifact.
+
+    *fleet_ckpt* (a :class:`repro.checkpoint.manager.FleetCheckpoint`)
+    turns on per-shard item-granularity checkpoints, and
+    *restart_lost* > 0 additionally restarts lost shards in a fresh
+    pool up to that many times: each dead lane's post-checkpoint
+    telemetry tail is truncated on the parent recorder, the lane
+    replays from its shard checkpoint, and results stay identical to
+    an undisturbed run (``worker_lost`` only fires once restarts are
+    exhausted).
 
     *heartbeat_s* overrides the worker heartbeat period (telemetry-bus
     campaigns only); *chunksize* is accepted for backward compatibility
@@ -191,10 +250,12 @@ def parallel_replica_map(
                     0, recorder=recorder, items_total=len(items),
                     heartbeat_s=hb_s,
                 )
-            outs = _run_shard(0, fn, pairs, kwargs, capture, sender, heartbeat)
+            outs = _run_shard(0, fn, pairs, kwargs, capture, sender, heartbeat,
+                              fleet_ckpt)
         else:
             outs = _pooled_map(
-                fn, pairs, kwargs, capture, shards, recorder, hb_s
+                fn, pairs, kwargs, capture, shards, recorder, hb_s,
+                fleet_ckpt=fleet_ckpt, restart_lost=restart_lost,
             )
     if capture:
         reg = obs.metrics()
@@ -205,8 +266,17 @@ def parallel_replica_map(
     return [result for result, _ in outs]
 
 
-def _pooled_map(fn, pairs, kwargs, capture, shards, recorder, heartbeat_s):
-    """Run the sharded pool, bus-connected when a recorder is active."""
+def _pooled_map(fn, pairs, kwargs, capture, shards, recorder, heartbeat_s,
+                fleet_ckpt=None, restart_lost=0):
+    """Run the sharded pool, bus-connected when a recorder is active.
+
+    With *fleet_ckpt* and *restart_lost* > 0, a broken pool does not
+    propagate immediately: the lost shards' telemetry lanes are
+    truncated back to their committed shard checkpoints and the shards
+    re-run in a fresh pool (preloading completed items), up to
+    *restart_lost* times.  Only when restarts are exhausted do
+    ``worker_lost`` events land and the pool failure raise.
+    """
     from repro.obs import runtime
     from repro.obs.bus import TelemetryBus
 
@@ -215,56 +285,78 @@ def _pooled_map(fn, pairs, kwargs, capture, shards, recorder, heartbeat_s):
         if "fork" in mp.get_all_start_methods()
         else mp.get_context()
     )
-    bus = (
-        TelemetryBus(recorder, ctx, heartbeat_s=heartbeat_s).start()
-        if recorder is not None
-        else None
-    )
     payloads = [
-        (k, fn, pairs[start:stop], kwargs, capture)
+        (k, fn, pairs[start:stop], kwargs, capture, fleet_ckpt)
         for k, (start, stop) in enumerate(_shard_slices(len(pairs), shards))
     ]
     shard_outs: list[list | None] = [None] * len(payloads)
-    lost: set[int] = set()
-    broken: BrokenProcessPool | None = None
-    try:
-        with ProcessPoolExecutor(
-            max_workers=shards,
-            mp_context=ctx,
-            initializer=_bus_worker_init,
-            initargs=(
-                bus.queue if bus is not None else None,
-                capture,
-                runtime.probe_interval(),
-                heartbeat_s,
-            ),
-        ) as ex:
-            futures = [ex.submit(_call_shard, p) for p in payloads]
-            for k, fut in enumerate(futures):
-                try:
-                    shard_outs[k] = fut.result()
-                except BrokenProcessPool as e:
-                    # A killed worker breaks the whole pool; keep
-                    # collecting so every dead lane is accounted for.
-                    broken = e
-                    lost.add(k)
-    finally:
-        if bus is not None:
-            expected = set(range(len(payloads))) - lost
-            bus.finish(expected)
-            # A shard whose bye made it onto the queue finished its work
-            # even if the pool broke before its result transferred; only
-            # silent lanes are reported lost.
-            for k in sorted(lost - bus.byes):
-                recorder.record_monitor(
-                    {
-                        "monitor": "worker_lost",
-                        "series": "parallel/workers",
-                        "items": len(payloads[k][2]),
-                        "shards": len(payloads),
-                    },
-                    worker=k,
-                )
-    if broken is not None:
-        raise broken
+    pending = list(range(len(payloads)))
+    restarts_left = int(restart_lost) if fleet_ckpt is not None else 0
+    while pending:
+        bus = (
+            TelemetryBus(recorder, ctx, heartbeat_s=heartbeat_s).start()
+            if recorder is not None
+            else None
+        )
+        lost: set[int] = set()
+        broken: BrokenProcessPool | None = None
+        try:
+            with ProcessPoolExecutor(
+                max_workers=len(pending),
+                mp_context=ctx,
+                initializer=_bus_worker_init,
+                initargs=(
+                    bus.queue if bus is not None else None,
+                    capture,
+                    runtime.probe_interval(),
+                    heartbeat_s,
+                ),
+            ) as ex:
+                futures = [(k, ex.submit(_call_shard, payloads[k]))
+                           for k in pending]
+                for k, fut in futures:
+                    try:
+                        shard_outs[k] = fut.result()
+                    except BrokenProcessPool as e:
+                        # A killed worker breaks the whole pool; keep
+                        # collecting so every dead lane is accounted for.
+                        broken = e
+                        lost.add(k)
+        finally:
+            byes: set[int] = set()
+            if bus is not None:
+                bus.finish(set(pending) - lost)
+                byes = bus.byes
+            if lost and restarts_left > 0:
+                pass  # restarting below; no worker_lost yet
+            elif bus is not None:
+                # A shard whose bye made it onto the queue finished its
+                # work even if the pool broke before its result
+                # transferred; only silent lanes are reported lost.
+                for k in sorted(lost - byes):
+                    recorder.record_monitor(
+                        {
+                            "monitor": "worker_lost",
+                            "series": "parallel/workers",
+                            "items": len(payloads[k][2]),
+                            "shards": len(payloads),
+                        },
+                        worker=k,
+                    )
+        if lost and restarts_left > 0:
+            restarts_left -= 1
+            counts = fleet_ckpt.lane_counts()
+            for k in sorted(lost):
+                lane = counts.get(k, {"records": 0, "monitors": 0})
+                if recorder is not None:
+                    recorder.truncate_lane(
+                        k,
+                        records=lane["records"],
+                        monitors=lane["monitors"],
+                    )
+            pending = sorted(lost)
+            continue
+        if broken is not None:
+            raise broken
+        pending = []
     return [pair for out in shard_outs for pair in (out or [])]

@@ -72,6 +72,11 @@ class Certificate:
     def to_dict(self) -> dict:
         return asdict(self)
 
+    @classmethod
+    def from_dict(cls, d: dict) -> "Certificate":
+        """Rebuild from :meth:`to_dict` output (checkpoint round-trip)."""
+        return cls(**d)
+
     def event(self) -> dict:
         """The observability event emitted into a run's events.jsonl."""
         return {

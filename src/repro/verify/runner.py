@@ -25,7 +25,7 @@ from repro.verify.lemmas import (
     certify_right_oriented,
 )
 
-__all__ = ["VerifyConfig", "run_verification"]
+__all__ = ["VerifyConfig", "resume_verification", "run_verification"]
 
 
 @dataclass(frozen=True)
@@ -56,36 +56,125 @@ class VerifyConfig:
         return BatteryConfig.quick(seed=self.seed)
 
 
-def _certificates(config: VerifyConfig) -> list[Certificate]:
+def _certificate_factories(config: VerifyConfig) -> list:
+    """One zero-argument factory per certificate, in canonical order.
+
+    The factory list is the checkpoint unit: a checkpointed run saves
+    after each finished certificate, and a resume re-derives this list
+    from the config and skips the prefix already on disk.
+    """
     abku = ABKURule(2)
     adap = AdaptiveRule(threshold_chi(1, 3, 2), name="adap[1|3@2]")
     m_values = tuple(range(1, min(config.m, 4) + 1))
-    certs = [
-        certify_right_oriented(abku, config.n, m_values),
-        certify_right_oriented(adap, min(config.n, 3), m_values),
-        certify_lemma_41(abku, config.n, config.m),
-        certify_claim_53(abku, config.n, config.m),
-        certify_edge_lemmas(config.edge_n),
+    factories = [
+        lambda: certify_right_oriented(abku, config.n, m_values),
+        lambda: certify_right_oriented(adap, min(config.n, 3), m_values),
+        lambda: certify_lemma_41(abku, config.n, config.m),
+        lambda: certify_claim_53(abku, config.n, config.m),
+        lambda: certify_edge_lemmas(config.edge_n),
     ]
     if config.battery:
-        certs.append(run_battery(config.battery_config()))
-    return certs
+        factories.append(lambda: run_battery(config.battery_config()))
+    return factories
 
 
-def run_verification(config: VerifyConfig) -> CertificateSet:
-    """Run every certificate of *config*; record artifacts when ``out`` is set."""
+def _certificates(config: VerifyConfig) -> list[Certificate]:
+    return [factory() for factory in _certificate_factories(config)]
+
+
+def run_verification(
+    config: VerifyConfig,
+    *,
+    checkpoint: bool = False,
+    _resume_doc: dict | None = None,
+) -> CertificateSet:
+    """Run every certificate of *config*; record artifacts when ``out`` is set.
+
+    With *checkpoint* set (requires ``out``), the run commits a
+    checkpoint after every finished certificate and finalizes a resumable
+    artifact on SIGTERM (raising
+    :class:`~repro.checkpoint.manager.CheckpointInterrupt`);
+    ``repro resume <out-dir>`` finishes the remaining certificates and
+    produces the same artifact bytes as an uninterrupted run.
+    """
     meta = {k: v for k, v in asdict(config).items() if k != "out"}
     if config.out is None:
         return CertificateSet(_certificates(config), config=meta)
     import os
 
-    from repro.obs.recorder import observe_run
+    from repro.obs.recorder import observe_resumed_run, observe_run
 
-    with observe_run(config.out, meta={"experiment_id": "verify", **meta}) as rec:
-        certs = _certificates(config)
-        result = CertificateSet(certs, config=meta)
-        for cert in certs:
-            rec.emit(cert.event())
-        rec.set_meta(verdict="pass" if result.passed else "fail")
-        result.write(os.path.join(config.out, "certificates.json"))
+    if not checkpoint and _resume_doc is None:
+        with observe_run(
+            config.out, meta={"experiment_id": "verify", **meta}
+        ) as rec:
+            certs = _certificates(config)
+            result = CertificateSet(certs, config=meta)
+            for cert in certs:
+                rec.emit(cert.event())
+            rec.set_meta(verdict="pass" if result.passed else "fail")
+            result.write(os.path.join(config.out, "certificates.json"))
+        return result
+
+    from repro.checkpoint.manager import Checkpointer, CheckpointInterrupt
+
+    certs: list[Certificate] = []
+    state = dict(_resume_doc.get("state") or {}) if _resume_doc else {}
+    if _resume_doc is not None:
+        certs = [Certificate.from_dict(d) for d in state.get("done", [])]
+        rec_state = state.get("recorder") or {}
+        keep = {
+            "events": int(rec_state.get("events", 0)),
+            "lanes": rec_state.get("lanes") or {},
+            "monitors": rec_state.get("monitors") or {},
+        }
+        ctx = observe_resumed_run(
+            config.out,
+            meta={"experiment_id": "verify", **meta},
+            trace=False,
+            keep=keep,
+            metrics=state.get("metrics"),
+        )
+    else:
+        # Tracing stays off on the checkpointed path: span events carry
+        # wall-clock times, which would break the byte-identical
+        # killed-vs-uninterrupted invariant.
+        ctx = observe_run(
+            config.out, meta={"experiment_id": "verify", **meta}, trace=False
+        )
+    ckpt = Checkpointer(
+        config.out, kind="verify", config=meta, save_every=1
+    )
+    try:
+        with ctx as rec:
+            if _resume_doc is not None:
+                # Restore the last committed save's meta stamp: a resume
+                # with no remaining certificates never saves again, and
+                # the final meta must match an uninterrupted run's.
+                rec.set_meta(last_checkpoint_step=int(_resume_doc["step"]))
+            try:
+                for factory in _certificate_factories(config)[len(certs):]:
+                    certs.append(factory())
+                    ckpt.maybe_save(
+                        len(certs),
+                        lambda: {"done": [c.to_dict() for c in certs]},
+                    )
+            except CheckpointInterrupt:
+                rec.set_meta(status="interrupted")
+                raise
+            result = CertificateSet(certs, config=meta)
+            for cert in certs:
+                rec.emit(cert.event())
+            rec.set_meta(verdict="pass" if result.passed else "fail")
+            result.write(os.path.join(config.out, "certificates.json"))
+    finally:
+        ckpt.close()
     return result
+
+
+def resume_verification(run_dir: str, doc: dict) -> CertificateSet:
+    """Continue an interrupted ``kind == "verify"`` run from its checkpoint."""
+    cfg = dict(doc.get("config") or {})
+    cfg.pop("out", None)
+    config = VerifyConfig(out=run_dir, **cfg)
+    return run_verification(config, checkpoint=True, _resume_doc=doc)

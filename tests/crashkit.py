@@ -1,0 +1,163 @@
+"""Crash-injection harness: kill, resume, byte-diff.
+
+The enforcement machinery behind the checkpoint subsystem's central
+invariant (docs/CHECKPOINT.md): a campaign killed at any step — SIGKILL
+mid-checkpoint-write included — and resumed with ``repro resume``
+produces artifacts byte-identical to the same campaign left alone.
+
+Pieces:
+
+* :func:`campaign_argv` — one canonical ``python -m repro campaign``
+  command line per (engine, spec) combination;
+* :func:`run_with_crash` — run a command in a fresh session with a
+  seeded ``REPRO_CRASH_AT`` schedule and assert the SIGKILL actually
+  landed (exit ``-SIGKILL``);
+* :func:`run_resume` — ``python -m repro resume <run-dir>``;
+* :func:`assert_runs_match` — byte-compare ``timeseries.jsonl`` and
+  ``events.jsonl``, and compare ``meta.json`` after dropping the keys
+  that legitimately differ between two executions (wall-clock stamps
+  and the ``resumed`` marker).
+
+Every helper is deterministic: the crash schedules are step/item/write
+counts, never timers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+
+#: meta.json keys that legitimately differ between two executions of
+#: the same run (wall-clock, process identity, resume marker).
+VOLATILE_META_KEYS = frozenset(
+    {"started_at", "duration_s", "argv", "resumed", "wall_s"}
+)
+
+
+def _env(crash_at: str | None = None) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env.pop("REPRO_CRASH_AT", None)
+    if crash_at is not None:
+        env["REPRO_CRASH_AT"] = crash_at
+    return env
+
+
+def campaign_argv(
+    out: str,
+    *,
+    engine: str = "scalar",
+    n: int = 8,
+    m: int = 32,
+    scenario: str = "a",
+    replicas: int = 3,
+    processes: int = 1,
+    max_steps: int = 2000,
+    probe_every: int = 5,
+    seed: int = 1,
+    save_every: int = 10,
+    eps: float | None = None,
+    restart_lost: int = 0,
+) -> list[str]:
+    """The canonical campaign command line of one crash-test scenario.
+
+    The default geometry (m = 4n from the all-in-one crash state) makes
+    recovery take at least ``m - target`` steps — the max load drops by
+    at most one per step — so a crash scheduled in the first ~25 steps
+    is guaranteed to land before the measurement finishes.
+    """
+    argv = [
+        sys.executable, "-m", "repro", "campaign",
+        "--n", str(n), "--m", str(m), "--scenario", scenario,
+        "--engine", engine, "--replicas", str(replicas),
+        "--processes", str(processes), "--max-steps", str(max_steps),
+        "--probe-every", str(probe_every), "--seed", str(seed),
+        "--out", out, "--save-every", str(save_every),
+    ]
+    if eps is not None:
+        argv += ["--eps", str(eps)]
+    if restart_lost:
+        argv += ["--restart-lost", str(restart_lost)]
+    return argv
+
+
+def run_clean(argv: list[str]) -> None:
+    """Run *argv* to completion (no crash schedule); assert success."""
+    proc = subprocess.run(
+        argv, env=_env(), cwd=REPO_ROOT,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    assert proc.returncode == 0, (
+        f"clean run failed ({proc.returncode}):\n{proc.stdout}"
+    )
+
+
+def run_with_crash(argv: list[str], crash_at: str) -> None:
+    """Run *argv* under the *crash_at* schedule; assert the kill landed.
+
+    The child gets a fresh session (``start_new_session=True``) so the
+    ``item:N`` hook's process-*group* SIGKILL can't take the test
+    runner down with it.
+    """
+    proc = subprocess.run(
+        argv, env=_env(crash_at), cwd=REPO_ROOT,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        start_new_session=True,
+    )
+    assert proc.returncode == -signal.SIGKILL, (
+        f"expected SIGKILL under REPRO_CRASH_AT={crash_at}, got "
+        f"{proc.returncode}:\n{proc.stdout}"
+    )
+
+
+def run_resume(run_dir: str) -> None:
+    """``python -m repro resume <run-dir>``; assert it finishes cleanly."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "resume", run_dir],
+        env=_env(), cwd=REPO_ROOT,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    assert proc.returncode == 0, (
+        f"resume of {run_dir} failed ({proc.returncode}):\n{proc.stdout}"
+    )
+
+
+def normalized_meta(run_dir: str) -> dict:
+    """``meta.json`` minus the keys two executions may legitimately differ in.
+
+    ``last_checkpoint_step`` is deliberately *kept*: a resumed run and
+    an uninterrupted checkpointed run cross the same save boundaries,
+    so their final cursors must agree.
+    """
+    with open(os.path.join(run_dir, "meta.json")) as f:
+        meta = json.load(f)
+    return {k: v for k, v in meta.items() if k not in VOLATILE_META_KEYS}
+
+
+def assert_runs_match(crashed_dir: str, reference_dir: str) -> None:
+    """The invariant: killed-and-resumed ≡ uninterrupted, byte for byte."""
+    for name in ("timeseries.jsonl", "events.jsonl"):
+        a_path = os.path.join(crashed_dir, name)
+        b_path = os.path.join(reference_dir, name)
+        assert os.path.exists(a_path) == os.path.exists(b_path), (
+            f"{name}: present in only one of the runs"
+        )
+        if not os.path.exists(a_path):
+            continue
+        with open(a_path, "rb") as f:
+            a = f.read()
+        with open(b_path, "rb") as f:
+            b = f.read()
+        assert a == b, (
+            f"{name} differs between resumed ({crashed_dir}) and "
+            f"uninterrupted ({reference_dir}) runs"
+        )
+    assert normalized_meta(crashed_dir) == normalized_meta(reference_dir)

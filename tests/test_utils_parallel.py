@@ -35,6 +35,60 @@ def _counting(item, seed_seq):
     return item
 
 
+def _die_once(item, seed_seq, tombstone=None, victim=None):
+    """Worker that SIGKILLs itself mid-item, exactly once per tombstone.
+
+    The kill fires *before* the item's result is committed, so the
+    restarted shard replays the in-flight item from its own spawned
+    seed stream — results must match an undisturbed run's.
+    """
+    import os
+    import signal
+
+    rng = np.random.default_rng(seed_seq)
+    value = float(rng.random())
+    if item == victim and tombstone and not os.path.exists(tombstone):
+        open(tombstone, "w").close()
+        os.kill(os.getpid(), signal.SIGKILL)
+    # A list, not a tuple: completed items round-trip through the JSON
+    # shard checkpoint, which has no tuple type.
+    return [item, value]
+
+
+def _always_die(item, seed_seq, victim=None):
+    """Worker whose victim item dies on every attempt (restart cannot help)."""
+    import os
+    import signal
+
+    if item == victim:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return item
+
+
+def _scalar_recovery_with_kill(k, seed_seq, tombstone=None, victim=None):
+    """One scalar recovery replica, killed once mid-item on the victim lane.
+
+    Mirrors ``analysis.recovery_measure._scalar_recovery_replica`` —
+    same spawned seed stream per replica, so the replayed fleet must
+    reproduce the serial path's times exactly.
+    """
+    import os
+    import signal
+
+    from repro.balls.load_vector import LoadVector
+    from repro.balls.rules import ABKURule
+    from repro.balls.scenario_a import ScenarioAProcess
+
+    proc = ScenarioAProcess(
+        ABKURule(2), LoadVector.all_in_one(32, 8),
+        seed=np.random.default_rng(seed_seq),
+    )
+    if k == victim and tombstone and not os.path.exists(tombstone):
+        open(tombstone, "w").close()
+        os.kill(os.getpid(), signal.SIGKILL)
+    return int(proc.run_until(lambda v: int(v[0]) <= 7, 2000))
+
+
 @pytest.fixture(autouse=True)
 def _obs_off():
     obs.disable()
@@ -104,3 +158,67 @@ class TestMetricsMerge:
         # capture/merge bookkeeping stays out of the way when disabled.
         assert snap["counters"]["worker.calls"] == 2
         assert "parallel.replicas" not in snap["counters"]
+
+
+class TestWorkerRestart:
+    """restart_lost: a killed worker's lane replays from its shard
+    checkpoint (satellite of the checkpoint/resume PR)."""
+
+    def test_restart_lost_matches_undisturbed(self, tmp_path):
+        from repro.checkpoint import FleetCheckpoint
+
+        items = list(range(6))
+        baseline = parallel_replica_map(_die_once, items, seed=5, processes=2)
+        fleet = FleetCheckpoint(str(tmp_path / "run"))
+        out = parallel_replica_map(
+            _die_once, items, seed=5, processes=2,
+            fleet_ckpt=fleet, restart_lost=1,
+            tombstone=str(tmp_path / "tombstone"), victim=4,
+        )
+        assert out == baseline
+        # The tombstone proves the kill actually happened.
+        assert (tmp_path / "tombstone").exists()
+
+    def test_restart_exhausted_raises(self, tmp_path):
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.checkpoint import FleetCheckpoint
+
+        fleet = FleetCheckpoint(str(tmp_path / "run"))
+        # No tombstone path that survives the kill: victim dies every
+        # attempt, so one allowed restart is not enough.
+        with pytest.raises(BrokenProcessPool):
+            parallel_replica_map(
+                _always_die, list(range(4)), seed=5, processes=2,
+                fleet_ckpt=fleet, restart_lost=1, victim=2,
+            )
+
+    def test_scalar_campaign_parity_across_restart(self, tmp_path):
+        """A pooled scalar fleet that loses a worker still produces the
+        per-replica seed-stream results of the serial path, and the
+        run artifact records no worker_lost event."""
+        import json
+
+        from repro.analysis.recovery_measure import recovery_times_balls
+        from repro.balls.rules import ABKURule
+        from repro.checkpoint import FleetCheckpoint
+        from repro.obs.recorder import observe_run
+
+        serial = recovery_times_balls(
+            ABKURule(2), 8, 32, 7, replicas=4, max_steps=2000,
+            engine="scalar", seed=3, processes=1,
+        )
+        out_dir = str(tmp_path / "run")
+        fleet = FleetCheckpoint(out_dir)
+        with observe_run(out_dir, meta={"experiment": "restart-test"},
+                         probe_every=5):
+            pooled = parallel_replica_map(
+                _scalar_recovery_with_kill, range(4), seed=3, processes=2,
+                fleet_ckpt=fleet, restart_lost=1,
+                tombstone=str(tmp_path / "tombstone"), victim=2,
+            )
+        assert (tmp_path / "tombstone").exists()
+        assert list(serial) == pooled
+        with open(f"{out_dir}/events.jsonl") as f:
+            events = [json.loads(line) for line in f]
+        assert not any(e.get("monitor") == "worker_lost" for e in events)
