@@ -1,0 +1,79 @@
+"""Synchronous-step (RBB) throughput: scalar vs vectorized kernels.
+
+One synchronous step of R replicas per engine for the load-independent
+RBB flavors, plus the exact synchronous-kernel build at small n.  The
+whole-fleet multinomial scatter must keep the vectorized path at least
+5x ahead of the scalar loop — run ``python -m repro bench run --filter
+rbb`` and diff against the committed baseline with
+``python -m repro obs diff``.
+"""
+
+from repro.balls.load_vector import LoadVector
+from repro.engine import (
+    ExactEngine,
+    ScalarEngine,
+    VectorizedEngine,
+    registered_specs,
+)
+
+N = 256
+R = 64
+
+_SPECS = registered_specs()
+
+
+def _start(n=N, m=N):
+    return LoadVector.random(m, n, 0)
+
+
+def _bench_vectorized(benchmark, name):
+    spec = _SPECS[name]
+    bp = VectorizedEngine.make(spec, _start(), R, seed=1)
+    benchmark(bp.step)
+
+
+def _bench_scalar(benchmark, name):
+    spec = _SPECS[name]
+    procs = [ScalarEngine.make(spec, _start(), seed=k) for k in range(R)]
+
+    def all_step():
+        for p in procs:
+            p.step()
+
+    benchmark(all_step)
+
+
+def test_bench_rbb_vec_uniform(benchmark):
+    _bench_vectorized(benchmark, "rbb_uniform")
+
+
+def test_bench_rbb_scalar_uniform(benchmark):
+    _bench_scalar(benchmark, "rbb_uniform")
+
+
+def test_bench_rbb_vec_twochoice(benchmark):
+    _bench_vectorized(benchmark, "rbb_twochoice")
+
+
+def test_bench_rbb_scalar_twochoice(benchmark):
+    _bench_scalar(benchmark, "rbb_twochoice")
+
+
+def test_bench_rbb_scalar_walk(benchmark):
+    # The walk rule is scalar-only (load-dependent absorption law);
+    # bench it at a smaller n so the per-step linear solve stays cheap.
+    spec = _SPECS["rbb_walk"]
+    procs = [
+        ScalarEngine.make(spec, _start(n=64, m=64), seed=k) for k in range(8)
+    ]
+
+    def all_step():
+        for p in procs:
+            p.step()
+
+    benchmark(all_step)
+
+
+def test_bench_rbb_exact_kernel(benchmark):
+    spec = _SPECS["rbb_uniform"]
+    benchmark(lambda: ExactEngine.kernel(spec, 5, 5))

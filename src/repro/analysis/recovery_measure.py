@@ -11,19 +11,67 @@ edge orientation — the E7 / E4 measurements.
 
 from __future__ import annotations
 
-from typing import Callable, Literal
-
 import numpy as np
 
 from repro.balls.load_vector import LoadVector
-from repro.balls.process import DynamicAllocationProcess
-from repro.balls.rules import SchedulingRule
+from repro.balls.rules import ABKURule, RandomWalkRule, SchedulingRule, UniformRule
 from repro.balls.scenario_a import ScenarioAProcess
 from repro.balls.scenario_b import ScenarioBProcess
 from repro.edgeorient.greedy import EdgeOrientationProcess
 from repro.utils.rng import SeedLike, spawn_generators
 
-__all__ = ["recovery_times_balls", "recovery_times_edge", "crash_state_edge"]
+__all__ = [
+    "RBB_SCENARIOS",
+    "CAMPAIGN_SCENARIOS",
+    "campaign_rule",
+    "scenario_spec",
+    "recovery_times_balls",
+    "recovery_times_edge",
+    "crash_state_edge",
+]
+
+#: The synchronous-step campaign scenarios (``repro campaign --spec …``).
+RBB_SCENARIOS = ("rbb_uniform", "rbb_twochoice", "rbb_walk")
+#: Every scenario token the campaign stack accepts.
+CAMPAIGN_SCENARIOS = ("a", "b") + RBB_SCENARIOS
+
+
+def campaign_rule(scenario: str, d: int = 2) -> SchedulingRule:
+    """The placement rule a campaign scenario token implies.
+
+    Scenario A/B and two-choice RBB place with ABKU[d]; uniform RBB
+    places u.a.r.; walk RBB places with the Frieze–Petti ring walk.
+    """
+    if scenario == "rbb_uniform":
+        return UniformRule()
+    if scenario == "rbb_walk":
+        return RandomWalkRule.cycle(2)
+    return ABKURule(d)
+
+
+def scenario_spec(rule: SchedulingRule, scenario: str):
+    """The :class:`~repro.engine.spec.ProcessSpec` of a scenario token."""
+    from repro.engine.spec import rbb_spec, scenario_a_spec, scenario_b_spec
+
+    if scenario == "a":
+        return scenario_a_spec(rule)
+    if scenario == "b":
+        return scenario_b_spec(rule)
+    if scenario in RBB_SCENARIOS:
+        return rbb_spec(rule, name=scenario)
+    raise ValueError(
+        f"scenario must be one of {CAMPAIGN_SCENARIOS}, got {scenario!r}"
+    )
+
+
+def _make_scalar_process(rule, scenario, start, seed):
+    """One scalar simulator for a scenario token (legacy RNG order kept)."""
+    if scenario in RBB_SCENARIOS:
+        from repro.balls.rbb import RBBProcess
+
+        return RBBProcess(scenario_spec(rule, scenario), start, seed=seed)
+    make = ScenarioAProcess if scenario == "a" else ScenarioBProcess
+    return make(rule, start, seed=seed)
 
 
 def _scalar_recovery_replica(
@@ -42,8 +90,9 @@ def _scalar_recovery_replica(
     :func:`~repro.utils.rng.spawn_generators` would hand replica ``_k``,
     so serial and sharded runs produce identical recovery times.
     """
-    make = ScenarioAProcess if scenario == "a" else ScenarioBProcess
-    proc = make(rule, start.copy(), seed=np.random.default_rng(seed_seq))
+    proc = _make_scalar_process(
+        rule, scenario, start.copy(), np.random.default_rng(seed_seq)
+    )
     return int(
         proc.run_until(lambda v: int(v[0]) <= target_max_load, max_steps)
     )
@@ -60,11 +109,10 @@ def _vectorized_recovery_shard(
     max_steps,
 ):
     """One vectorized sub-fleet of *sub_replicas* replicas (picklable)."""
-    from repro.engine.spec import scenario_a_spec, scenario_b_spec
     from repro.engine.vectorized import VectorizedEngine
 
-    builder = scenario_a_spec if scenario == "a" else scenario_b_spec
-    bp = VectorizedEngine.make(builder(rule), start, sub_replicas, seed=seed_seq)
+    spec = scenario_spec(rule, scenario)
+    bp = VectorizedEngine.make(spec, start, sub_replicas, seed=seed_seq)
     return bp.recovery_times(target_max_load, max_steps)
 
 
@@ -89,7 +137,6 @@ def _scalar_serial_checkpointed(
     ``save_every > 0`` produces byte-identical telemetry to the legacy
     single-call path (pinned by ``tests/test_checkpoint_resume.py``).
     """
-    make = ScenarioAProcess if scenario == "a" else ScenarioBProcess
     times = np.full(replicas, -1, dtype=np.int64)
     k0 = 0
     if resume_state is not None:
@@ -103,7 +150,7 @@ def _scalar_serial_checkpointed(
     for k, rng in enumerate(spawn_generators(seed, replicas)):
         if k < k0:
             continue  # completed before the checkpoint; times restored
-        proc = make(rule, start.copy(), seed=rng)
+        proc = _make_scalar_process(rule, scenario, start.copy(), rng)
         steps_done = 0
         if resume_state is not None and k == k0:
             proc.load_state(resume_state["engine"])
@@ -139,7 +186,7 @@ def recovery_times_balls(
     m: int,
     target_max_load: int,
     *,
-    scenario: Literal["a", "b"] = "a",
+    scenario: str = "a",
     start: LoadVector | None = None,
     replicas: int = 20,
     max_steps: int = 10_000_000,
@@ -212,11 +259,11 @@ def recovery_times_balls(
             return np.concatenate(
                 [np.asarray(p, dtype=np.int64) for p in parts]
             )
-        from repro.engine.spec import scenario_a_spec, scenario_b_spec
         from repro.engine.vectorized import VectorizedEngine
 
-        builder = scenario_a_spec if scenario == "a" else scenario_b_spec
-        bp = VectorizedEngine.make(builder(rule), start, replicas, seed=seed)
+        bp = VectorizedEngine.make(
+            scenario_spec(rule, scenario), start, replicas, seed=seed
+        )
         if resume_state is not None:
             bp.load_state(resume_state["engine"], probe_target=target_max_load)
         return bp.recovery_times(
@@ -251,10 +298,8 @@ def recovery_times_balls(
             replicas, max_steps, seed, checkpointer, resume_state,
         )
     times = np.empty(replicas, dtype=np.int64)
-    make: Callable[..., DynamicAllocationProcess]
-    make = ScenarioAProcess if scenario == "a" else ScenarioBProcess
     for k, rng in enumerate(spawn_generators(seed, replicas)):
-        proc = make(rule, start.copy(), seed=rng)
+        proc = _make_scalar_process(rule, scenario, start.copy(), rng)
         times[k] = proc.run_until(
             lambda v: int(v[0]) <= target_max_load, max_steps
         )

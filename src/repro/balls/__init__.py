@@ -21,7 +21,10 @@ paper (§2):
 * :mod:`repro.balls.open_system` — the §7 open process with a varying
   number of balls;
 * :mod:`repro.balls.relocation` — the §7 extension allowing limited
-  relocations per step.
+  relocations per step;
+* :mod:`repro.balls.rbb` — the synchronous-step Repeated
+  Balls-into-Bins process (every nonempty bin releases one ball per
+  step; see docs/RBB.md).
 """
 
 from repro.balls.distributions import (
@@ -36,9 +39,11 @@ from repro.balls.right_oriented import (
     check_right_oriented,
     coupled_insertion,
 )
+from repro.balls.rbb import RBBProcess
 from repro.balls.rules import (
     AdaptiveRule,
     ABKURule,
+    RandomWalkRule,
     SchedulingRule,
     UniformRule,
     make_rule,
@@ -80,6 +85,8 @@ __all__ = [
     "AdaptiveRule",
     "LoadVector",
     "OpenSystemProcess",
+    "RandomWalkRule",
+    "RBBProcess",
     "RelocationProcess",
     "RightOrientedFunction",
     "ScenarioAProcess",

@@ -41,6 +41,7 @@ __all__ = [
     "UniformRule",
     "ABKURule",
     "AdaptiveRule",
+    "RandomWalkRule",
     "make_rule",
     "constant_chi",
     "geometric_chi",
@@ -317,9 +318,194 @@ class AdaptiveRule(SchedulingRule):
         return f"AdaptiveRule(name={self.name!r})"
 
 
+class RandomWalkRule(SchedulingRule):
+    """Frieze–Petti random-walk allocation: capacitated bins on a graph.
+
+    A ball arrives at an i.u.r. bin; if that bin already holds
+    ``capacity`` balls, the ball performs a simple random walk on the
+    graph (uniform neighbor per hop) until it reaches a bin below
+    capacity, where it settles.  When *no* bin is free the ball settles
+    at its arrival bin (saturated fallback), so placement always
+    terminates and ball conservation holds.
+
+    The graph lives over *normalized* positions (load-ranked vertices),
+    which keeps the rule inside the paper's D̄ : Ω × RS → [n] formalism
+    — the same vertex-set convention the :mod:`repro.edgeorient` module
+    uses, so one ``networkx`` graph can drive both an edge-orientation
+    metric and this rule (see :meth:`from_graph`).  Because the
+    insertion law depends on the loads (through the free set), the rule
+    is sequential-only: ``insertion_quantile_batch`` stays ``None`` and
+    the vectorized engine rejects it; the scalar and exact engines run
+    it — the exact path via :meth:`insertion_distribution`, which
+    solves the walk's absorption distribution as a linear system.
+
+    *graph* is either a mapping ``vertex -> neighbors`` pinning the
+    vertex count, or a callable ``n -> mapping`` building the graph
+    lazily per state size (what registered specs need, since they run
+    at many n); :meth:`cycle` is the lazy ring builder.
+    """
+
+    def __init__(
+        self,
+        graph: Union[dict, Callable[[int], dict]],
+        capacity: int,
+        *,
+        name: str | None = None,
+    ):
+        self.capacity = check_positive_int("capacity", capacity)
+        if callable(graph):
+            self._builder = graph
+        else:
+            fixed = self._check_adjacency(graph)
+            self._builder = lambda n: fixed
+        self._adj_cache: dict[int, dict[int, tuple[int, ...]]] = {}
+        self.name = name or f"walk[cap={self.capacity}]"
+
+    @staticmethod
+    def _check_adjacency(graph: dict) -> dict[int, tuple[int, ...]]:
+        adj = {int(i): tuple(int(j) for j in nbrs) for i, nbrs in graph.items()}
+        n = len(adj)
+        if sorted(adj) != list(range(n)):
+            raise ValueError("graph vertices must be exactly 0..n-1")
+        for i, nbrs in adj.items():
+            if not nbrs:
+                raise ValueError(f"vertex {i} has no neighbors")
+            for j in nbrs:
+                if not 0 <= j < n or j == i:
+                    raise ValueError(f"bad edge {i}->{j}")
+                if i not in adj[j]:
+                    raise ValueError(f"graph must be undirected: {i}->{j}")
+        # Connectivity: a walk from any full bin must be able to reach
+        # any free bin.
+        seen = {0}
+        frontier = [0]
+        while frontier:
+            i = frontier.pop()
+            for j in adj[i]:
+                if j not in seen:
+                    seen.add(j)
+                    frontier.append(j)
+        if len(seen) != n:
+            raise ValueError("graph must be connected")
+        return adj
+
+    @classmethod
+    def cycle(cls, capacity: int, *, name: str | None = None) -> "RandomWalkRule":
+        """Lazy ring C_n: works at whatever n the state has (n ≥ 3)."""
+
+        def ring(n: int) -> dict[int, tuple[int, ...]]:
+            if n < 3:
+                raise ValueError(f"cycle walk needs n >= 3, got {n}")
+            return {i: ((i - 1) % n, (i + 1) % n) for i in range(n)}
+
+        return cls(ring, capacity, name=name or f"walk[C_n,cap={capacity}]")
+
+    @classmethod
+    def from_graph(cls, graph, capacity: int, *, name: str | None = None) -> "RandomWalkRule":
+        """Build from a ``networkx``-style graph (nodes must be 0..n-1)."""
+        adjacency = {i: tuple(graph.neighbors(i)) for i in graph.nodes}
+        return cls(adjacency, capacity, name=name)
+
+    def _adj(self, n: int) -> dict[int, tuple[int, ...]]:
+        adj = self._adj_cache.get(n)
+        if adj is None:
+            adj = self._check_adjacency(self._builder(n))
+            if len(adj) != n:
+                raise ValueError(
+                    f"rule {self.name!r} has a {len(adj)}-vertex graph; state has n={n}"
+                )
+            self._adj_cache[n] = adj
+        return adj
+
+    def source_length(self, v: np.ndarray) -> int:
+        # One arrival draw plus a generous walk budget: the cover time
+        # of a connected n-vertex graph is O(n^3) worst case, and the
+        # ring (the common choice here) covers in Θ(n²); exhausting the
+        # budget raises in select_from_source, as for ADAP.
+        n = int(v.shape[0])
+        return 1 + 16 * n * n
+
+    def select_from_source(self, v: np.ndarray, rs: np.ndarray) -> int:
+        n = int(v.shape[0])
+        adj = self._adj(n)
+        j = int(rs[0]) % n
+        if not (v < self.capacity).any():
+            return j
+        for t in range(1, rs.shape[0]):
+            if v[j] < self.capacity:
+                return j
+            nbrs = adj[j]
+            j = nbrs[int(rs[t]) % len(nbrs)]
+        if v[j] < self.capacity:
+            return j
+        raise ValueError(
+            f"source of length {rs.shape[0]} exhausted before the walk settled"
+        )
+
+    def select(self, v: np.ndarray, seed: SeedLike = None) -> int:
+        rng = as_generator(seed)
+        n = int(v.shape[0])
+        adj = self._adj(n)
+        j = int(rng.integers(0, n))
+        if not (v < self.capacity).any():
+            return j
+        hops = 0
+        limit = self.source_length(v)
+        while v[j] >= self.capacity:
+            nbrs = adj[j]
+            j = nbrs[int(rng.integers(0, len(nbrs)))]
+            hops += 1
+            if hops > limit:
+                raise RuntimeError(
+                    f"walk did not settle within {limit} hops (n={n})"
+                )
+        return j
+
+    def insertion_distribution(self, v: np.ndarray) -> np.ndarray:
+        """Exact settling pmf: uniform arrival + walk absorption.
+
+        With F the free set (load < capacity), the walk restricted to
+        the full bins is a substochastic matrix T and the one-hop
+        full→free mass a matrix B; starting uniform, the settled
+        distribution is  π_F + 1_full/n · (I − T)⁻¹ B  (expected-visits
+        form).  (I − T) is invertible because the graph is connected
+        and F is non-empty; with F empty the ball stays at arrival, so
+        the law is uniform.
+        """
+        n = int(v.shape[0])
+        adj = self._adj(n)
+        free = np.asarray(v) < self.capacity
+        out = np.full(n, 1.0 / n, dtype=np.float64)
+        if free.all() or not free.any():
+            return out
+        full_idx = np.nonzero(~free)[0]
+        free_idx = np.nonzero(free)[0]
+        pos_full = {int(i): k for k, i in enumerate(full_idx)}
+        pos_free = {int(i): k for k, i in enumerate(free_idx)}
+        k = full_idx.size
+        T = np.zeros((k, k), dtype=np.float64)
+        B = np.zeros((k, free_idx.size), dtype=np.float64)
+        for i in full_idx:
+            row = pos_full[int(i)]
+            nbrs = adj[int(i)]
+            w = 1.0 / len(nbrs)
+            for j in nbrs:
+                if free[j]:
+                    B[row, pos_free[int(j)]] += w
+                else:
+                    T[row, pos_full[int(j)]] += w
+        visits = np.linalg.solve(np.eye(k) - T.T, np.full(k, 1.0 / n))
+        result = np.zeros(n, dtype=np.float64)
+        result[free_idx] = out[free_idx] + visits @ B
+        return result
+
+    def __repr__(self) -> str:
+        return f"RandomWalkRule(name={self.name!r}, capacity={self.capacity})"
+
+
 def make_rule(kind: str, **kwargs) -> SchedulingRule:
     """Factory: ``make_rule('abku', d=2)``, ``make_rule('uniform')``,
-    ``make_rule('adap', chi=...)``."""
+    ``make_rule('adap', chi=...)``, ``make_rule('walk', capacity=2)``."""
     kind = kind.lower()
     if kind == "uniform":
         return UniformRule()
@@ -329,4 +515,11 @@ def make_rule(kind: str, **kwargs) -> SchedulingRule:
         if "chi" not in kwargs:
             raise ValueError("make_rule('adap') requires chi=...")
         return AdaptiveRule(kwargs.pop("chi"), name=kwargs.pop("name", None))
+    if kind == "walk":
+        capacity = kwargs.pop("capacity", 2)
+        graph = kwargs.pop("graph", None)
+        name = kwargs.pop("name", None)
+        if graph is None:
+            return RandomWalkRule.cycle(capacity, name=name)
+        return RandomWalkRule(graph, capacity, name=name)
     raise ValueError(f"unknown rule kind {kind!r}")

@@ -167,14 +167,14 @@ def exact_recovery_times(
     uninterrupted one's.
     """
     from repro import obs
+    from repro.analysis.recovery_measure import scenario_spec
     from repro.balls.load_vector import LoadVector
     from repro.engine.exact import ExactEngine
-    from repro.engine.spec import scenario_a_spec, scenario_b_spec
     from repro.markov.stationary import stationary_distribution
 
     if start is None:
         start = LoadVector.all_in_one(m, n)
-    spec = (scenario_a_spec if scenario == "a" else scenario_b_spec)(rule)
+    spec = scenario_spec(rule, scenario)
     chain = ExactEngine.kernel(spec, n, m)
     pi = stationary_distribution(chain)
     every = obs.probe_interval() if obs.enabled() else 0
@@ -258,9 +258,8 @@ def run_checkpointed_campaign(
     the run short (the artifact is finalized with status
     ``interrupted`` and can be resumed), else ``None``.
     """
-    from repro.analysis.recovery_measure import recovery_times_balls
+    from repro.analysis.recovery_measure import campaign_rule, recovery_times_balls
     from repro.balls.load_vector import LoadVector
-    from repro.balls.rules import ABKURule
     from repro.obs.recorder import observe_resumed_run, observe_run
 
     config = dict(config)
@@ -288,7 +287,7 @@ def run_checkpointed_campaign(
         ckpt = Checkpointer(
             run_dir, kind="campaign", config=config, save_every=save_every
         )
-    rule = ABKURule(config["d"])
+    rule = campaign_rule(config["scenario"], config["d"])
     start = LoadVector.all_in_one(config["m"], config["n"])
     interrupted: int | None = None
     times = None

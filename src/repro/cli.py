@@ -174,6 +174,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--d", type=int, default=2,
                    help="choices per allocation (ABKU rule, default 2)")
     p.add_argument("--scenario", choices=("a", "b"), default="a")
+    p.add_argument("--spec",
+                   choices=("rbb_uniform", "rbb_twochoice", "rbb_walk"),
+                   default=None, metavar="NAME",
+                   help="campaign a synchronous-step (RBB) spec instead of "
+                   "--scenario: rbb_uniform, rbb_twochoice, rbb_walk")
     p.add_argument("--engine", choices=("scalar", "vectorized", "exact"),
                    default="scalar")
     p.add_argument("--replicas", type=int, default=8)
@@ -566,7 +571,7 @@ def _cmd_campaign(args) -> int:
         n=args.n,
         m=args.m,
         d=args.d,
-        scenario=args.scenario,
+        scenario=args.spec or args.scenario,
         engine=args.engine,
         replicas=args.replicas,
         processes=args.processes,
@@ -621,12 +626,12 @@ def _cmd_engines(args) -> int:
             return 1
         entries = {args.spec: entries[args.spec]}
     t = Table(
-        ["spec", "shape"] + [e.name for e in ENGINES],
+        ["spec", "step", "shape"] + [e.name for e in ENGINES],
         title="registered process specs × execution engines",
     )
     for name, entry in entries.items():
         spec = entry.build()
-        row = [name, spec.describe()]
+        row = [name, spec.step.name, spec.describe()]
         for engine_name, (ok, why) in engine_support(spec).items():
             row.append("yes" if ok else f"no: {why}")
         t.add_row(row)

@@ -66,6 +66,12 @@ def coalescence_time_spec(
     weighted w(ℓ) removal laws.  Returns the first step at which the
     load vectors coincide, or -1 if not within *max_steps*.
     """
+    if spec.step.synchronous:
+        raise ValueError(
+            f"spec {spec.name!r} has a synchronous step shape; the grand "
+            "coupling routes one sequential phase per step and would run "
+            "the wrong dynamics"
+        )
     rng = as_generator(seed)
     v = _as_array(start_v)
     u = _as_array(start_u)
@@ -344,6 +350,12 @@ def coalescence_times_vectorized(
     """
     from repro.engine.vectorized import VectorizedEngine
 
+    if spec.step.synchronous:
+        raise ValueError(
+            f"spec {spec.name!r} has a synchronous step shape; the grand "
+            "coupling routes one sequential phase per step and would run "
+            "the wrong dynamics"
+        )
     if spec.kind != "closed":
         raise ValueError(
             "vectorized coalescence needs a closed spec (open-system "

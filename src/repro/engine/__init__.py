@@ -14,9 +14,14 @@ engines:
 * :class:`~repro.engine.exact.ExactEngine` — dense transition kernels
   over enumerated partitions for small instances.
 
+Specs also carry a *step shape* (:class:`~repro.engine.spec.StepLaw`):
+the sequential §3.3 phase, or the synchronous Repeated Balls-into-Bins
+step (every nonempty bin releases one ball; parallel re-placement) —
+all three engines execute both shapes.
+
 See ``docs/ENGINES.md`` for the spec/engine contract and how to add a
-new process in one file; ``python -m repro engines`` prints the
-capability matrix.
+new process in one file; ``docs/RBB.md`` for the synchronous family;
+``python -m repro engines`` prints the capability matrix.
 """
 
 from repro.engine.exact import ExactEngine
@@ -36,9 +41,15 @@ from repro.engine.spec import (
     BinRemoval,
     ProcessSpec,
     RemovalLaw,
+    SequentialStep,
+    StepLaw,
+    SynchronousStep,
     WeightedRemoval,
     custom_removal_spec,
     open_spec,
+    rbb_spec,
+    rbb_twochoice_spec,
+    rbb_uniform_spec,
     relocation_spec,
     scenario_a_spec,
     scenario_b_spec,
@@ -54,8 +65,11 @@ __all__ = [
     "ProcessSpec",
     "RemovalLaw",
     "ScalarEngine",
+    "SequentialStep",
     "SpecEntry",
     "SpecProcess",
+    "StepLaw",
+    "SynchronousStep",
     "VectorizedEngine",
     "VectorizedProcess",
     "WeightedRemoval",
@@ -64,6 +78,9 @@ __all__ = [
     "engine_support",
     "get_engine",
     "open_spec",
+    "rbb_spec",
+    "rbb_twochoice_spec",
+    "rbb_uniform_spec",
     "register_spec",
     "registered_specs",
     "relocation_spec",

@@ -14,6 +14,10 @@ This engine derives that matrix *from the spec alone*:
 * **open specs** — states are ⋃_{k ≤ max_balls} Ω_k; a fair coin picks
   the removal half-step (no-op when empty) or the insertion half-step
   (no-op at the cap).  Any removal law works, not just 𝒜/ℬ.
+* **synchronous (RBB) specs** — states are Ω_m; one step enumerates the
+  weak compositions of the release count s over the n bins, weighting
+  each by its multinomial mass under the rule's insertion pmf on the
+  post-release state.
 
 The legacy constructors (:func:`repro.markov.exact.scenario_a_kernel`
 and friends) are now thin wrappers over this engine; the parity suite
@@ -21,6 +25,9 @@ pins the matrices equal.
 """
 
 from __future__ import annotations
+
+import math
+from typing import Iterator
 
 import numpy as np
 
@@ -86,6 +93,53 @@ def _relocation_mix(
             out_row[index[tuple(int(x) for x in moved)]] += mass * p * pt
         else:
             out_row[k0] += mass * p * pt
+
+
+def _compositions(total: int, parts: int) -> Iterator[tuple[int, ...]]:
+    """All weak compositions of *total* into *parts* ordered parts."""
+    if parts == 1:
+        yield (total,)
+        return
+    for first in range(total + 1):
+        for rest in _compositions(total - first, parts - 1):
+            yield (first,) + rest
+
+
+def _synchronous_phase_distribution(
+    spec: ProcessSpec,
+    v: np.ndarray,
+    index: dict,
+    out_row: np.ndarray,
+) -> None:
+    """Accumulate the one-step RBB distribution from state *v* into *out_row*.
+
+    One synchronous step releases one ball from each of the s nonempty
+    bins and scatters the s released balls i.i.d. by the rule's
+    insertion pmf q on the post-release state w, so the landing counts
+    are Multinomial(s, q): each weak composition c of s contributes
+    mass  s!/(∏ c_i!) · ∏ q_i^{c_i}  to the sorted state w + c.
+    """
+    n = v.shape[0]
+    w = v.copy()
+    s = int(np.count_nonzero(w))
+    w[w > 0] -= 1
+    if s == 0:
+        out_row[index[tuple(int(x) for x in w)]] += 1.0
+        return
+    q = spec.rule.insertion_distribution(w)
+    s_fact = float(math.factorial(s))
+    for c in _compositions(s, n):
+        p = s_fact
+        for ci, qi in zip(c, q):
+            if ci:
+                if qi <= 0.0:
+                    p = 0.0
+                    break
+                p *= float(qi) ** ci / math.factorial(ci)
+        if p <= 0.0:
+            continue
+        u = np.sort(w + np.asarray(c, dtype=np.int64))[::-1]
+        out_row[index[tuple(int(x) for x in u)]] += p
 
 
 def _open_phase_distribution(
@@ -179,6 +233,8 @@ class ExactEngine:
         row = np.zeros(len(states), dtype=np.float64)
         if spec.kind == "open":
             _open_phase_distribution(spec, v, int(spec.max_balls), index, row)
+        elif spec.step.synchronous:
+            _synchronous_phase_distribution(spec, v, index, row)
         else:
             _phase_distribution(spec, v, index, row)
         return states, row
@@ -203,8 +259,13 @@ class ExactEngine:
         states = all_partitions(m, n)
         index = {s: k for k, s in enumerate(states)}
         P = np.zeros((len(states), len(states)), dtype=np.float64)
+        fill = (
+            _synchronous_phase_distribution
+            if spec.step.synchronous
+            else _phase_distribution
+        )
         for k, s in enumerate(states):
-            _phase_distribution(spec, np.array(s, dtype=np.int64), index, P[k])
+            fill(spec, np.array(s, dtype=np.int64), index, P[k])
         return FiniteMarkovChain(states, P)
 
     @staticmethod

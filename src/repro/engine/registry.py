@@ -17,13 +17,16 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.balls.custom_removal import weight_power
-from repro.balls.rules import ABKURule, AdaptiveRule, threshold_chi
+from repro.balls.rules import ABKURule, AdaptiveRule, RandomWalkRule, threshold_chi
 from repro.engine.exact import ExactEngine
 from repro.engine.scalar import ScalarEngine
 from repro.engine.spec import (
     ProcessSpec,
     custom_removal_spec,
     open_spec,
+    rbb_spec,
+    rbb_twochoice_spec,
+    rbb_uniform_spec,
     relocation_spec,
     scenario_a_spec,
     scenario_b_spec,
@@ -100,9 +103,19 @@ def engine_for(spec: ProcessSpec, scale: str, *, replicas: int = 1):
     Smoke runs stay on the scalar reference path.  At paper scale a
     multi-replica sweep moves to the vectorized engine when the spec
     supports it; otherwise (ADAP(χ) and friends) scalar remains.
+
+    The chosen engine's ``supports`` verdict is asserted at *every*
+    scale — an unsupported spec raises with the engine's rejection
+    reason instead of silently running on a path that cannot execute
+    it.
     """
     if scale == "paper" and replicas > 1 and VectorizedEngine.supports(spec)[0]:
         return VectorizedEngine
+    ok, why = ScalarEngine.supports(spec)
+    if not ok:
+        raise ValueError(
+            f"no engine supports spec {spec.name!r} at scale {scale!r}: {why}"
+        )
     return ScalarEngine
 
 
@@ -149,4 +162,19 @@ register_spec(
         ABKURule(2), weight_power(2.0), name="custom_pressure"
     ),
     description="§7 generalized removal w(ℓ)=ℓ², place ABKU[2]",
+)
+register_spec(
+    "rbb_uniform",
+    lambda: rbb_uniform_spec(),
+    description="Repeated Balls-into-Bins: synchronous release, uniform re-place",
+)
+register_spec(
+    "rbb_twochoice",
+    lambda: rbb_twochoice_spec(),
+    description="RBB with parallel two-choice re-placement (ABKU[2])",
+)
+register_spec(
+    "rbb_walk",
+    lambda: rbb_spec(RandomWalkRule.cycle(2), name="rbb_walk"),
+    description="RBB with Frieze–Petti walk placement: ring C_n, capacity 2",
 )

@@ -52,6 +52,11 @@ class SpecProcess(DynamicAllocationProcess):
             raise ValueError(
                 f"SpecProcess runs closed specs; use OpenSpecProcess for {spec.name!r}"
             )
+        if spec.step.synchronous:
+            raise ValueError(
+                f"SpecProcess runs sequential specs; use "
+                f"repro.balls.rbb.RBBProcess for {spec.name!r}"
+            )
         super().__init__(state, seed=seed)
         self.spec = spec
         self.rule = spec.rule
@@ -312,8 +317,12 @@ class ScalarEngine:
         state: Union[LoadVector, np.ndarray, list],
         *,
         seed: SeedLike = None,
-    ) -> Union[SpecProcess, OpenSpecProcess]:
+    ) -> Union[SpecProcess, OpenSpecProcess, "RBBProcess"]:
         """Instantiate the scalar simulator for *spec* at *state*."""
+        if spec.step.synchronous:
+            from repro.balls.rbb import RBBProcess
+
+            return RBBProcess(spec, state, seed=seed)
         if spec.kind == "open":
             return OpenSpecProcess(spec, state, seed=seed)
         return SpecProcess(spec, state, seed=seed)

@@ -25,6 +25,18 @@ paper's distributions are consumed across the codebase:
 generalization w(ℓ) — which subsumes both (w(ℓ)=ℓ → 𝒜, w(ℓ)=1[ℓ>0] →
 ℬ) but keeps them as dedicated classes so the engines can use their
 O(log n) / closed-form fast paths.
+
+A spec also carries a *step shape* (:class:`StepLaw`):
+
+* :class:`SequentialStep` — the paper's §3.3 phase: one removal draw,
+  one placement draw (bit-for-bit today's semantics and RNG order);
+* :class:`SynchronousStep` — the Repeated Balls-into-Bins shape
+  (Becchetti et al.; Los–Sauerwald): every nonempty bin releases one
+  ball, and all released balls re-place *in parallel*, each drawing
+  i.i.d. from the rule's insertion distribution evaluated on the
+  post-release state.  For load-independent rules (uniform, ABKU[d])
+  the whole scatter is one multinomial draw, which is what the
+  vectorized engine exploits.
 """
 
 from __future__ import annotations
@@ -49,13 +61,92 @@ __all__ = [
     "BallRemoval",
     "BinRemoval",
     "WeightedRemoval",
+    "StepLaw",
+    "SequentialStep",
+    "SynchronousStep",
     "ProcessSpec",
     "scenario_a_spec",
     "scenario_b_spec",
     "custom_removal_spec",
     "open_spec",
     "relocation_spec",
+    "rbb_spec",
+    "rbb_uniform_spec",
+    "rbb_twochoice_spec",
 ]
+
+
+# ---------------------------------------------------------------------------
+# Step shapes
+# ---------------------------------------------------------------------------
+
+class StepLaw(ABC):
+    """The *shape* of one step: how removals and placements interleave.
+
+    Step laws are stateless markers with value semantics (two instances
+    of the same class are equal), so frozen specs that differ only in
+    construction site still hash and compare consistently.
+    """
+
+    name: str = "step"
+
+    @property
+    @abstractmethod
+    def synchronous(self) -> bool:
+        """Whether the step releases/places in parallel (RBB shape)."""
+
+    def __eq__(self, other: object) -> bool:
+        return type(other) is type(self)
+
+    def __hash__(self) -> int:
+        return hash(type(self))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class SequentialStep(StepLaw):
+    """The paper's §3.3 phase: one removal draw, then one placement draw.
+
+    This is exactly today's semantics — engines keep their legacy RNG
+    draw order bit-for-bit under this shape.
+    """
+
+    name = "sequential"
+
+    @property
+    def synchronous(self) -> bool:
+        return False
+
+
+class SynchronousStep(StepLaw):
+    """Repeated Balls-into-Bins: parallel release + parallel re-placement.
+
+    One step from state v: (1) every nonempty bin releases one ball,
+    w = v − 1[v > 0]; (2) the s = #nonempty released balls each draw an
+    i.i.d. normalized insertion index from ``rule.insertion_distribution``
+    evaluated on the *post-release* state w; (3) the new state is the
+    descending re-sort of w plus the scatter counts.
+
+    For load-independent rules the insertion pmf q does not depend on
+    w, so the scatter is exactly Multinomial(s, q) — one vectorizable
+    draw per step.  This matches uniform RBB (i.i.d. uniform bin
+    choices) and the parallel d-choice variant (each ball's normalized
+    index is the max of d uniform indices; the engines agree on this
+    law exactly, which the parity battery checks against the exact
+    kernel).
+    """
+
+    name = "synchronous"
+
+    @property
+    def synchronous(self) -> bool:
+        return True
+
+
+#: Shared default so every existing call site keeps its sequential shape.
+SEQUENTIAL = SequentialStep()
+SYNCHRONOUS = SynchronousStep()
 
 
 # ---------------------------------------------------------------------------
@@ -193,6 +284,11 @@ class ProcessSpec:
       phase, with this probability move one ball from the fullest bin
       to a rule-selected target when that strictly improves balance
       (load gap ≥ 2).
+    * ``step`` — the step shape: :class:`SequentialStep` (default,
+      everything above) or :class:`SynchronousStep` (RBB: every
+      nonempty bin releases one ball per step and the released balls
+      re-place in parallel by ``rule``; ``removal`` is nominal and
+      unused — the release set is determined by the state).
 
     Specs are frozen (hashable) so engines and registries can treat
     them as values; use :func:`dataclasses.replace` to derive variants.
@@ -204,6 +300,7 @@ class ProcessSpec:
     kind: Literal["closed", "open"] = "closed"
     max_balls: int | None = None
     p_relocate: float = 0.0
+    step: StepLaw = SEQUENTIAL
 
     def __post_init__(self) -> None:
         if self.kind not in ("closed", "open"):
@@ -217,11 +314,23 @@ class ProcessSpec:
                 raise ValueError("max_balls only applies to open specs")
         if self.p_relocate > 0 and self.kind != "closed":
             raise ValueError("relocation only applies to closed specs")
+        if not isinstance(self.step, StepLaw):
+            raise TypeError(f"step must be a StepLaw, got {self.step!r}")
+        if self.step.synchronous:
+            if self.kind != "closed":
+                raise ValueError("synchronous steps require a closed system")
+            if self.p_relocate > 0:
+                raise ValueError(
+                    "relocation is not defined for synchronous steps"
+                )
 
     def describe(self) -> str:
         """One-line human description (used by the ``repro engines`` CLI)."""
-        bits = [f"{self.kind}", f"removal={self.removal.name}",
-                f"rule={self.rule.name}"]
+        bits = [f"{self.kind}", f"step={self.step.name}",
+                f"removal={self.removal.name}", f"rule={self.rule.name}"]
+        if self.step.synchronous:
+            # The removal law is nominal under the synchronous shape.
+            bits.remove(f"removal={self.removal.name}")
         if self.max_balls is not None:
             bits.append(f"cap={self.max_balls}")
         if self.p_relocate > 0:
@@ -281,3 +390,27 @@ def relocation_spec(
         raise ValueError(f"scenario must be 'a' or 'b', got {scenario!r}")
     law = BallRemoval() if scenario == "a" else BinRemoval()
     return ProcessSpec(name, rule, law, p_relocate=p_relocate)
+
+
+def rbb_spec(rule: SchedulingRule, *, name: str = "rbb") -> ProcessSpec:
+    """Repeated Balls-into-Bins with an arbitrary placement *rule*.
+
+    The removal slot is filled with :class:`BinRemoval` purely as a
+    nominal value — under :class:`SynchronousStep` the release set is
+    the nonempty bins, not a sampled law.
+    """
+    return ProcessSpec(name, rule, BinRemoval(), step=SYNCHRONOUS)
+
+
+def rbb_uniform_spec(*, name: str = "rbb_uniform") -> ProcessSpec:
+    """Uniform RBB (Becchetti et al.): released balls re-place u.a.r."""
+    from repro.balls.rules import UniformRule
+
+    return rbb_spec(UniformRule(), name=name)
+
+
+def rbb_twochoice_spec(*, name: str = "rbb_twochoice") -> ProcessSpec:
+    """Parallel two-choice RBB: each released ball takes the better of 2."""
+    from repro.balls.rules import ABKURule
+
+    return rbb_spec(ABKURule(2), name=name)

@@ -28,6 +28,14 @@ What vectorizes — and what cannot:
   indexed write.  A decremented fullest bin still exceeds any valid
   relocation target (gap ≥ 2), so the two Fact 3.2 edits commute
   row-wise.
+* **Synchronous (RBB) steps** — the whole fleet advances with *one*
+  inverse-transform scatter per step: a single ``rng.random(Σ s_r)``
+  draw over every released ball in the fleet, mapped through the rule's
+  quantile and bin-counted per replica (equal in law to per-row
+  ``Multinomial(s_r, q)``), and the (R, n) matrix is released,
+  scattered and re-sorted in whole-array passes — no per-ball Python
+  loop.  Requires a load-independent insertion law (same eligibility
+  as the inverse-transform insertion path).
 
 Cross-validated against the scalar engine distributionally (KS tests in
 the engine-parity suite); replicas consume randomness differently from
@@ -79,6 +87,13 @@ class VectorizedProcess:
         self._rows = np.arange(replicas)
         self._t = 0
         self.relocations = 0
+        # Synchronous specs scatter against a fixed insertion pmf
+        # (supports() guarantees the rule is load-independent).
+        self._q: np.ndarray | None = None
+        if spec.step.synchronous:
+            self._q = spec.rule.insertion_distribution(
+                np.zeros(self._n, dtype=np.int64)
+            )
 
     # -- state access ---------------------------------------------------------
 
@@ -163,11 +178,39 @@ class VectorizedProcess:
 
     def step(self) -> None:
         """Advance every replica by one phase."""
-        if self.spec.kind == "closed":
+        if self._q is not None:
+            self._step_synchronous()
+        elif self.spec.kind == "closed":
             self._step_closed()
         else:
             self._step_open()
         self._t += 1
+
+    def _step_synchronous(self) -> None:
+        """One RBB step for the whole fleet: release, scatter, re-sort.
+
+        Each row releases one ball from each of its s_r nonempty bins
+        (rows stay descending after the masked decrement).  All released
+        balls of all replicas then re-place through one inverse-transform
+        scatter: a single ``rng.random(Σ s_r)`` draw mapped through the
+        rule's quantile, bin-counted per replica — equivalent in law to
+        per-row ``Multinomial(s_r, q)`` but one RNG call and one
+        ``bincount`` for the entire fleet, which is what buys the
+        vectorized path its headroom over the scalar loop
+        (``benchmarks/bench_e16_rbb.py``).
+        """
+        V = self._V
+        nonempty = V > 0
+        s = nonempty.sum(axis=1)
+        np.subtract(V, 1, out=V, where=nonempty)
+        total = int(s.sum())
+        if total > 0:
+            idx = self._insertion_indices(self._rng.random(total))
+            flat = np.repeat(self._rows, s) * self._n + idx
+            V += np.bincount(flat, minlength=self._R * self._n).reshape(
+                self._R, self._n
+            )
+        V[:] = -np.sort(-V, axis=1)
 
     def _step_closed(self) -> None:
         rng = self._rng
@@ -401,12 +444,16 @@ class VectorizedEngine:
     @staticmethod
     def supports(spec: ProcessSpec) -> tuple[bool, str]:
         """A spec vectorizes iff its rule's insertion index is a single
-        inverse-transform draw and its removal law batches."""
+        inverse-transform draw and its removal law batches.  Synchronous
+        specs only need the rule half (the release set is state-driven,
+        so the removal law is never sampled)."""
         if getattr(spec.rule, "insertion_quantile_batch", None) is None:
             return False, (
                 f"rule {spec.rule.name!r} needs sequential sampling "
-                "(no inverse-transform insertion law)"
+                "(no load-independent inverse-transform insertion law)"
             )
+        if spec.step.synchronous:
+            return True, "whole-fleet inverse-transform scatter per step"
         if not spec.removal.batchable:
             return False, f"removal law {spec.removal.name!r} has no vectorized quantile"
         return True, "whole-array (R, n) stepper"

@@ -27,8 +27,8 @@ import time
 
 import numpy as np
 
+from repro.analysis.recovery_measure import CAMPAIGN_SCENARIOS, campaign_rule
 from repro.balls.load_vector import LoadVector
-from repro.balls.rules import ABKURule
 from repro.utils.rng import SeedLike
 
 __all__ = ["run_campaign", "default_campaign_dir"]
@@ -84,9 +84,17 @@ def run_campaign(
     survive that many killed workers by replaying their shards from
     the last fleet checkpoint.  With ``save_every=0`` (the default) a
     non-exact campaign takes the legacy zero-overhead path below.
+
+    Besides the paper's ``'a'``/``'b'``, *scenario* accepts the
+    synchronous RBB tokens ``'rbb_uniform'``, ``'rbb_twochoice'`` and
+    ``'rbb_walk'`` (``repro campaign --spec rbb_…``); the placement
+    rule then follows :func:`~repro.analysis.recovery_measure.campaign_rule`
+    and *d* only matters for the two-choice flavors.
     """
-    if scenario not in ("a", "b"):
-        raise ValueError(f"scenario must be 'a' or 'b', got {scenario!r}")
+    if scenario not in CAMPAIGN_SCENARIOS:
+        raise ValueError(
+            f"scenario must be one of {CAMPAIGN_SCENARIOS}, got {scenario!r}"
+        )
     if m is None:
         m = n
     if target is None:
@@ -116,7 +124,7 @@ def run_campaign(
             "restart_lost": int(restart_lost),
         }
         return run_checkpointed_campaign(run_dir, config=config)
-    rule = ABKURule(d)
+    rule = campaign_rule(scenario, d)
     start = LoadVector.all_in_one(m, n)
     meta = {
         "experiment": "campaign",

@@ -1,0 +1,139 @@
+"""E16 — Repeated Balls-into-Bins: synchronous recovery and stationarity.
+
+The ROADMAP's scenario-diversity item: the synchronous step shape
+(every nonempty bin releases one ball per step, all released balls
+re-place in parallel) run over the RBB family — uniform re-placement
+(Becchetti et al.), two-choice re-placement (ABKU[2]), and the
+Frieze–Petti random-walk rule on a capacitated ring.  We measure
+(a) crash recovery from the dirac-worst start against the linear
+c·(n+m) self-stabilization envelope, and (b) the exact stationary
+max-load mean on a small instance.  Expected: every replica of every
+flavor recovers well inside the linear envelope, and two-choice
+re-placement keeps the stationary max load at or below uniform's
+(power of two choices survives the synchronous shape).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.recovery_measure import (
+    RBB_SCENARIOS,
+    campaign_rule,
+    recovery_times_balls,
+    scenario_spec,
+)
+from repro.experiments.base import ExperimentResult, check_scale, main_for
+from repro.obs.probes import rbb_recovery_bound, recovery_target
+from repro.utils.tables import Table
+
+EXPERIMENT_ID = "E16"
+TITLE = "Repeated Balls-into-Bins (synchronous steps): recovery + stationarity"
+
+_PRESETS = {
+    "smoke": dict(n=16, m=32, replicas=16, kernel_nm=(4, 4)),
+    "paper": dict(n=64, m=128, replicas=64, kernel_nm=(4, 6)),
+}
+
+#: The walk rule keeps a load-dependent insertion law, so it runs on the
+#: scalar reference engine; the load-independent flavors vectorize.
+_ENGINE = {
+    "rbb_uniform": "vectorized",
+    "rbb_twochoice": "vectorized",
+    "rbb_walk": "scalar",
+}
+
+
+def run(scale: str = "smoke", seed: int = 0) -> ExperimentResult:
+    """Run E16 at the given scale preset."""
+    from repro.engine.exact import ExactEngine
+    from repro.markov.stationary import stationary_distribution
+
+    p = _PRESETS[check_scale(scale)]
+    n, m = p["n"], p["m"]
+    kn, km = p["kernel_nm"]
+    target = recovery_target(n, m)
+    bound = rbb_recovery_bound(n, m)
+
+    t = Table(
+        ["spec", "engine", "median recovery", "q95", "worst", "capped",
+         f"E_pi[max] (n={kn}, m={km})"],
+        title=(
+            f"RBB family at n={n}, m={m}: recovery to max load <= {target} "
+            f"within the c*(n+m) = {bound} envelope"
+        ),
+    )
+    data: dict = {"n": n, "m": m, "target": target, "bound": bound}
+    medians: dict[str, float] = {}
+    stationary_max: dict[str, float] = {}
+    worst_overall = 0
+    capped_total = 0
+    for gi, scen in enumerate(RBB_SCENARIOS):
+        rule = campaign_rule(scen)
+        times = recovery_times_balls(
+            rule, n, m, target,
+            scenario=scen,
+            replicas=p["replicas"],
+            max_steps=bound,
+            engine=_ENGINE[scen],
+            seed=seed + 101 * gi,
+            processes=1,
+        )
+        arr = np.asarray(times, dtype=np.int64)
+        done = arr[arr >= 0].astype(np.float64)
+        capped = int((arr < 0).sum())
+        capped_total += capped
+        worst = int(arr.max())
+        worst_overall = max(worst_overall, worst)
+        med = float(np.median(done)) if done.size else float("nan")
+        q95 = float(np.quantile(done, 0.95)) if done.size else float("nan")
+        medians[scen] = med
+
+        chain = ExactEngine.kernel(scenario_spec(rule, scen), kn, km)
+        pi = stationary_distribution(chain)
+        max_loads = np.array([s[0] for s in chain.states], dtype=np.float64)
+        e_max = float((pi * max_loads).sum())
+        stationary_max[scen] = e_max
+
+        t.add_row([scen, _ENGINE[scen], med, q95, worst, capped, round(e_max, 3)])
+        data[scen] = {
+            "engine": _ENGINE[scen],
+            "median_recovery": med,
+            "q95_recovery": q95,
+            "worst_recovery": worst,
+            "capped": capped,
+            "stationary_mean_max": e_max,
+        }
+
+    data["all_within_envelope"] = capped_total == 0
+    data["twochoice_no_worse"] = (
+        stationary_max["rbb_twochoice"] <= stationary_max["rbb_uniform"] + 1e-9
+    )
+    verdict = (
+        (
+            f"all {len(RBB_SCENARIOS) * p['replicas']} replicas recovered "
+            f"within the linear envelope (worst {worst_overall} <= {bound})"
+            if data["all_within_envelope"]
+            else f"{capped_total} replicas FAILED the linear envelope"
+        )
+        + "; "
+        + (
+            "two-choice stationary max load <= uniform's "
+            f"({stationary_max['rbb_twochoice']:.3f} <= "
+            f"{stationary_max['rbb_uniform']:.3f})"
+            if data["twochoice_no_worse"]
+            else "two-choice stationary max load EXCEEDS uniform's (unexpected)"
+        )
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        scale=scale,
+        verdict=verdict,
+        tables=[t],
+        data=data,
+    )
+
+
+if __name__ == "__main__":
+    main_for(run)

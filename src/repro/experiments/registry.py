@@ -1,4 +1,4 @@
-"""Registry of all experiments E1–E15 (see DESIGN.md §4)."""
+"""Registry of all experiments E1–E16 (see DESIGN.md §4)."""
 
 from __future__ import annotations
 
@@ -20,6 +20,7 @@ from repro.experiments import (
     e13_carpool_fairness,
     e14_relocation,
     e15_custom_removal,
+    e16_rbb,
 )
 from repro.experiments.base import ExperimentResult, ProgressReporter
 
@@ -41,6 +42,7 @@ _MODULES = (
     e13_carpool_fairness,
     e14_relocation,
     e15_custom_removal,
+    e16_rbb,
 )
 
 EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {

@@ -1,4 +1,4 @@
-"""EXPERIMENTS.md generator: runs E1–E15 and records paper-vs-measured.
+"""EXPERIMENTS.md generator: runs E1–E16 and records paper-vs-measured.
 
 Usage::
 
@@ -103,6 +103,15 @@ PAPER_CLAIMS: dict[str, str] = {
         "weight laws reproduce scenarios A and B *exactly* (kernel "
         "equality), and load-pressure removal (γ > 1) speeds recovery "
         "monotonically."
+    ),
+    "E16": (
+        "**Repeated Balls-into-Bins (related-work family, docs/RBB.md).** "
+        "Synchronous step shape: every nonempty bin releases one ball per "
+        "round; parallel re-placement (uniform / two-choice / Frieze–Petti "
+        "walk).  Expected: self-stabilizing recovery from the dirac-worst "
+        "start inside the linear c·(n+m) envelope (Becchetti et al.) in "
+        "every replica, and the two-choice stationary max load at or below "
+        "uniform's (the Los–Sauerwald window's power-of-two-choices side)."
     ),
 }
 

@@ -21,6 +21,9 @@ crossing landed within the bound:
 
 * max-load recovery vs Theorem 1's τ(ε) = ⌈m·ln(m/ε)⌉
   (:func:`max_load_recovery_monitor`);
+* RBB self-stabilization to the O(log n) max-load band vs the
+  linear-rounds envelope of Becchetti et al.
+  (:func:`rbb_recovery_monitor`, driven by the synchronous engines);
 * exact-chain TV distance to ``markov.stationary`` vs ε
   (:func:`tv_recovery_monitor`, driven by ``ExactEngine.evolve``);
 * coalescence detection in the grand couplings
@@ -42,6 +45,8 @@ __all__ = [
     "FleetProbe",
     "DistributionProbe",
     "max_load_recovery_monitor",
+    "rbb_recovery_monitor",
+    "rbb_recovery_bound",
     "tv_recovery_monitor",
     "coalescence_monitor",
     "recovery_target",
@@ -153,6 +158,36 @@ def max_load_recovery_monitor(
         recovery_target(n, m),
         bound_step=bound,
         extra={"n": int(n), "m": int(m), "eps": float(eps)},
+    )
+
+
+def rbb_recovery_bound(n: int, m: int, *, c: int = 64) -> int:
+    """A generous Becchetti-style self-stabilization envelope: c·(n + m).
+
+    Becchetti et al. prove uniform RBB reaches O(log n) max load from
+    *any* legal state within O(n) rounds w.h.p. (for m = Θ(n)); the
+    constant c keeps the envelope honest at the small sizes the verify
+    battery runs while scaling linearly like the theorem.
+    """
+    if n < 1 or m < 1:
+        raise ValueError(f"need n >= 1 and m >= 1, got n={n}, m={m}")
+    return int(c) * (int(n) + int(m))
+
+
+def rbb_recovery_monitor(series: str, n: int, m: int) -> ThresholdMonitor:
+    """RBB self-stabilization: max load down to the O(log n) band.
+
+    Fires when the observed max load first reaches
+    :func:`recovery_target` (⌈m/n⌉ + ⌈log₂ n⌉ — the O(log n) band of
+    Becchetti et al. at the balanced level); the bound step is the
+    linear-rounds envelope of :func:`rbb_recovery_bound`.
+    """
+    return ThresholdMonitor(
+        "rbb_recovery",
+        series,
+        recovery_target(n, m),
+        bound_step=rbb_recovery_bound(n, m),
+        extra={"n": int(n), "m": int(m)},
     )
 
 

@@ -37,6 +37,7 @@ EXIT_BITS = {
     "claim53": 4,  # Claims 5.1–5.3: scenario B coupling
     "edge6263": 8,  # Lemmas 6.2–6.3: edge orientation coupling
     "battery": 16,  # statistical engine-acceptance battery
+    "rbb": 32,  # Repeated Balls-into-Bins: conservation / recovery / stationary
 }
 
 

@@ -24,6 +24,11 @@ from repro.verify.lemmas import (
     certify_lemma_41,
     certify_right_oriented,
 )
+from repro.verify.rbb import (
+    certify_rbb_invariance,
+    certify_rbb_recovery,
+    certify_rbb_stationary,
+)
 
 __all__ = ["VerifyConfig", "resume_verification", "run_verification"]
 
@@ -72,6 +77,9 @@ def _certificate_factories(config: VerifyConfig) -> list:
         lambda: certify_lemma_41(abku, config.n, config.m),
         lambda: certify_claim_53(abku, config.n, config.m),
         lambda: certify_edge_lemmas(config.edge_n),
+        lambda: certify_rbb_invariance(config.n, config.m),
+        lambda: certify_rbb_recovery(config.n, config.m, seed=config.seed),
+        lambda: certify_rbb_stationary(config.n, config.m),
     ]
     if config.battery:
         factories.append(lambda: run_battery(config.battery_config()))

@@ -74,9 +74,10 @@ def campaign_argv(
     at most one per step — so a crash scheduled in the first ~25 steps
     is guaranteed to land before the measurement finishes.
     """
+    scenario_flag = "--spec" if scenario.startswith("rbb") else "--scenario"
     argv = [
         sys.executable, "-m", "repro", "campaign",
-        "--n", str(n), "--m", str(m), "--scenario", scenario,
+        "--n", str(n), "--m", str(m), scenario_flag, scenario,
         "--engine", engine, "--replicas", str(replicas),
         "--processes", str(processes), "--max-steps", str(max_steps),
         "--probe-every", str(probe_every), "--seed", str(seed),

@@ -79,6 +79,17 @@ def _campaign(out, **kw):
             dict(VECTORIZED_KW, replicas=4, processes=2), "item:1",
             id="pooled-vectorized",
         ),
+        # Synchronous step shape: from m = 4n all-in-one the RBB max
+        # load also sheds at most one per step, so the same schedules
+        # land mid-measurement.
+        pytest.param(
+            dict(SCALAR_KW, scenario="rbb_uniform"), "step:20",
+            id="rbb-scalar-serial",
+        ),
+        pytest.param(
+            dict(VECTORIZED_KW, scenario="rbb_twochoice"), "step:20",
+            id="rbb-vectorized-single",
+        ),
     ],
 )
 def test_sigkill_resume_matches_uninterrupted(tmp_path, kw, crash_at):

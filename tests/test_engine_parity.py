@@ -329,6 +329,176 @@ def test_grand_coupling_spec_handles_relocation_and_open():
 
 
 # ---------------------------------------------------------------------------
+# Synchronous step shape (RBB): property tests
+# ---------------------------------------------------------------------------
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+RBB_NAMES = sorted(
+    name for name, spec in SPECS.items() if spec.step.synchronous
+)
+RBB_VEC_NAMES = sorted(set(RBB_NAMES) & set(VEC_SPECS))
+
+
+@st.composite
+def rbb_start(draw, max_n: int = 6, max_load: int = 4):
+    """A nonempty load vector on n ≥ 3 bins (the ring rule needs n ≥ 3)."""
+    n = draw(st.integers(3, max_n))
+    xs = draw(st.lists(st.integers(0, max_load), min_size=n, max_size=n))
+    assume(sum(xs) > 0)
+    return LoadVector(xs)
+
+
+@pytest.mark.parametrize("name", RBB_NAMES)
+@given(start=rbb_start(), seed=st.integers(0, 2**16), steps=st.integers(1, 25))
+@settings(max_examples=20, deadline=None)
+def test_rbb_scalar_conserves_balls(name, start, seed, steps):
+    spec = SPECS[name]
+    m = int(start.loads.sum())
+    p = ScalarEngine.make(spec, start, seed=seed)
+    p.run(steps)
+    v = p.loads
+    assert int(v.sum()) == m
+    assert (np.sort(v)[::-1] == v).all() and (v >= 0).all()
+
+
+@pytest.mark.parametrize("name", RBB_VEC_NAMES)
+@given(start=rbb_start(), seed=st.integers(0, 2**16), steps=st.integers(1, 25))
+@settings(max_examples=15, deadline=None)
+def test_rbb_vectorized_conserves_balls(name, start, seed, steps):
+    spec = SPECS[name]
+    m = int(start.loads.sum())
+    bp = VectorizedEngine.make(spec, start, 8, seed=seed)
+    bp.run(steps)
+    assert (bp.ball_counts() == m).all()
+    V = bp.loads
+    assert (np.sort(V, axis=1)[:, ::-1] == V).all()
+    assert (V >= 0).all()
+
+
+def _compositions_of(total, parts):
+    if parts == 1:
+        yield (total,)
+        return
+    for first in range(total + 1):
+        for rest in _compositions_of(total - first, parts - 1):
+            yield (first,) + rest
+
+
+def _scatter_law(w, q, s):
+    """Independent enumeration: law of sort_desc(w + Multinomial(s, q))."""
+    law: dict = {}
+    for c in _compositions_of(s, len(w)):
+        p = float(math.factorial(s))
+        for qi, ci in zip(q, c):
+            if ci == 0:
+                continue
+            if qi <= 0.0:
+                p = 0.0
+                break
+            p *= qi**ci / math.factorial(ci)
+        if p == 0.0:
+            continue
+        key = tuple(sorted((wi + ci for wi, ci in zip(w, c)), reverse=True))
+        law[key] = law.get(key, 0.0) + p
+    return law
+
+
+@st.composite
+def scatter_case(draw, max_n: int = 5):
+    n = draw(st.integers(2, max_n))
+    w = draw(st.lists(st.integers(0, 3), min_size=n, max_size=n))
+    weights = draw(st.lists(st.integers(1, 6), min_size=n, max_size=n))
+    s = draw(st.integers(1, 4))
+    perm = draw(st.permutations(list(range(n))))
+    return w, weights, s, perm
+
+
+@given(case=scatter_case())
+@settings(max_examples=50, deadline=None)
+def test_synchronous_scatter_permutation_equivariant(case):
+    """Permuting (w, q) by the same relabeling leaves the sorted landing
+    law unchanged — the bin-exchangeability the (R, n) multinomial
+    scatter kernel relies on."""
+    w, weights, s, perm = case
+    q = np.asarray(weights, dtype=np.float64)
+    q /= q.sum()
+    law = _scatter_law(w, q, s)
+    law_p = _scatter_law(
+        [w[i] for i in perm], [float(q[i]) for i in perm], s
+    )
+    assert set(law) == set(law_p)
+    for key, prob in law.items():
+        assert law_p[key] == pytest.approx(prob, abs=1e-12)
+
+
+@given(
+    v=st.lists(st.integers(0, 3), min_size=3, max_size=4).filter(
+        lambda xs: sum(xs) > 0
+    ),
+    seed=st.integers(0, 2**10),
+)
+@settings(max_examples=25, deadline=None)
+def test_exact_synchronous_row_matches_independent_enumeration(v, seed):
+    """ExactEngine's synchronous row equals the from-scratch scatter law."""
+    spec = SPECS["rbb_twochoice"]
+    w = np.sort(np.asarray(v, dtype=np.int64))[::-1]
+    states, row = ExactEngine.transition_row(spec, w)
+    released = w - (w > 0)
+    s = int((w > 0).sum())
+    q = spec.rule.insertion_distribution(released)
+    law = _scatter_law([int(x) for x in released], [float(x) for x in q], s)
+    for state, prob in zip(states, row):
+        assert prob == pytest.approx(law.get(state, 0.0), abs=1e-12)
+
+
+@pytest.mark.parametrize("name", RBB_VEC_NAMES)
+def test_rbb_vectorized_state_roundtrip_is_bitwise(name):
+    """A fleet restored from ``state_dict`` replays the exact trajectory:
+    the synchronous scatter kernel's RNG consumption is fully captured
+    by the checkpoint (the invariant RBB campaigns with --save-every
+    lean on)."""
+    spec = SPECS[name]
+    start = LoadVector.all_in_one(12, 8)
+    bp = VectorizedEngine.make(spec, start, 8, seed=42)
+    bp.run(30)
+    saved = bp.state_dict()
+    bp.run(25)
+    end = bp.loads.copy()
+    bp2 = VectorizedEngine.make(spec, start, 8, seed=0)
+    bp2.load_state(saved)
+    bp2.run(25)
+    assert np.array_equal(bp2.loads, end)
+
+
+def test_rbb_walk_rejected_by_vectorized_with_sequential_reason():
+    spec = SPECS["rbb_walk"]
+    ok, why = VectorizedEngine.supports(spec)
+    assert not ok
+    assert "sequential" in why
+    matrix = engine_support(spec)
+    assert matrix["scalar"][0] and matrix["exact"][0]
+
+
+def test_grand_coupling_rejects_synchronous_specs():
+    from repro.coupling.grand import (
+        coalescence_time_spec,
+        coalescence_times_vectorized,
+    )
+
+    spec = SPECS["rbb_uniform"]
+    v0 = LoadVector.all_in_one(4, 4)
+    u0 = LoadVector.balanced(4, 4)
+    with pytest.raises(ValueError, match="synchronous"):
+        coalescence_time_spec(spec, v0, u0, max_steps=10, seed=0)
+    with pytest.raises(ValueError, match="synchronous"):
+        coalescence_times_vectorized(spec, v0, u0, 4, max_steps=10, seed=0)
+
+
+# ---------------------------------------------------------------------------
 # Deprecation shim
 # ---------------------------------------------------------------------------
 

@@ -1,4 +1,4 @@
-"""Smoke tests for all experiment drivers E1–E14."""
+"""Smoke tests for all experiment drivers E1–E16."""
 
 import pytest
 
@@ -8,9 +8,9 @@ from repro.experiments.registry import TITLES
 
 
 class TestRegistry:
-    def test_fifteen_experiments(self):
-        assert len(EXPERIMENTS) == 15
-        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 16)}
+    def test_sixteen_experiments(self):
+        assert len(EXPERIMENTS) == 16
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 17)}
 
     def test_titles_present(self):
         assert all(TITLES[eid] for eid in EXPERIMENTS)
@@ -35,7 +35,7 @@ class TestResultRendering:
 
 # Fast experiments run in full; the slower ones are exercised too but
 # marked so a quick dev loop can deselect them (-m "not slow").
-_FAST = ["E2", "E3", "E4", "E5", "E7", "E8", "E9", "E11", "E12", "E13", "E14", "E15"]
+_FAST = ["E2", "E3", "E4", "E5", "E7", "E8", "E9", "E11", "E12", "E13", "E14", "E15", "E16"]
 _SLOW = ["E1", "E6", "E10"]
 
 

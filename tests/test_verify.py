@@ -228,7 +228,7 @@ class TestVerifyCli:
         doc = json.loads(out)
         assert doc["passed"] is True
         groups = {c["group"] for c in doc["certificates"]}
-        assert groups == {"lemma33", "lemma41", "claim53", "edge6263"}
+        assert groups == {"lemma33", "lemma41", "claim53", "edge6263", "rbb"}
 
     def test_table_output_prints_beta_next_to_bound(self, capsys):
         assert main(
