@@ -1,0 +1,68 @@
+"""Batched multi-step kernels vs the per-step vectorized path.
+
+The paper-scale point of the raw-speed roadmap item: one (R, n) =
+(256, 10⁵) fleet — the n = 10⁵ Theorem 1 regime at campaign replica
+counts — advanced through ``run`` (one Python-level dispatch per
+phase) and through ``run_batched`` (pre-drawn RNG slab, fused ⊕/⊖
+passes, binary-search run boundaries, int32 layout).  The committed
+``BENCH_*.json`` from this module is the evidence that the batched
+path clears the ≥2× bar while the differential fuzz suite pins it
+bitwise to the reference.
+
+A moderate-scale pair (n = 4096) rides along so CI's quick mode can
+watch the same ratio cheaply, plus the batched ``recovery_times``
+driver which is what campaigns actually call.
+"""
+
+from repro.balls.load_vector import LoadVector
+from repro.engine.registry import registered_specs
+from repro.engine.vectorized import VectorizedProcess
+
+N_PAPER = 100_000
+N_MID = 4096
+R = 256
+STEPS = 8
+
+
+def _fleet(n: int, *, seed: int = 7) -> VectorizedProcess:
+    spec = registered_specs()["scenario_a"]
+    return VectorizedProcess(spec, LoadVector.all_in_one(n, n), R, seed=seed)
+
+
+def test_bench_paper_scale_step_unbatched(benchmark):
+    bp = _fleet(N_PAPER)
+    bp.run(2)  # past the first-step cold caches
+    benchmark.pedantic(lambda: bp.run(STEPS), rounds=3)
+
+
+def test_bench_paper_scale_step_batched(benchmark):
+    bp = _fleet(N_PAPER)
+    bp.run_batched(2, batch=2)  # triggers int32 narrowing + scratch alloc
+    benchmark.pedantic(lambda: bp.run_batched(STEPS, batch=STEPS), rounds=3)
+
+
+def test_bench_mid_scale_step_unbatched(benchmark):
+    bp = _fleet(N_MID)
+    bp.run(2)
+    benchmark(lambda: bp.run(STEPS))
+
+
+def test_bench_mid_scale_step_batched(benchmark):
+    bp = _fleet(N_MID)
+    bp.run_batched(2, batch=2)
+    benchmark(lambda: bp.run_batched(STEPS, batch=STEPS))
+
+
+def test_bench_mid_scale_recovery_batched(benchmark):
+    from repro.obs.probes import recovery_target
+
+    spec = registered_specs()["scenario_a"]
+    target = recovery_target(N_MID, N_MID)
+
+    def measure():
+        bp = VectorizedProcess(
+            spec, LoadVector.all_in_one(N_MID, N_MID), 32, seed=11
+        )
+        return bp.recovery_times(target, 2_000, batch=64)
+
+    benchmark.pedantic(measure, rounds=2)

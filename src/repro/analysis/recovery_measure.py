@@ -107,13 +107,14 @@ def _vectorized_recovery_shard(
     start,
     target_max_load,
     max_steps,
+    batch=1,
 ):
     """One vectorized sub-fleet of *sub_replicas* replicas (picklable)."""
     from repro.engine.vectorized import VectorizedEngine
 
     spec = scenario_spec(rule, scenario)
     bp = VectorizedEngine.make(spec, start, sub_replicas, seed=seed_seq)
-    return bp.recovery_times(target_max_load, max_steps)
+    return bp.recovery_times(target_max_load, max_steps, batch=batch)
 
 
 def _scalar_serial_checkpointed(
@@ -198,6 +199,7 @@ def recovery_times_balls(
     resume_state: dict | None = None,
     fleet_ckpt=None,
     restart_lost: int = 0,
+    batch: int = 1,
 ) -> np.ndarray:
     """Steps from the crash state until max load ≤ *target_max_load*.
 
@@ -230,6 +232,13 @@ def recovery_times_balls(
     (a :class:`~repro.checkpoint.manager.FleetCheckpoint`) makes each
     worker commit per-shard progress after every completed item, and
     *restart_lost* > 0 replays killed shards in a fresh pool.
+
+    *batch* > 1 (vectorized only) advances each fleet through the
+    batched multi-step kernels
+    (:meth:`~repro.engine.vectorized.VectorizedProcess.run_batched`
+    semantics) — per-replica hitting times, telemetry and committed
+    checkpoints are identical to ``batch=1``; only throughput changes.
+    Scalar paths ignore it.
     """
     if start is None:
         start = LoadVector.all_in_one(m, n)
@@ -255,6 +264,7 @@ def recovery_times_balls(
                 start=start,
                 target_max_load=target_max_load,
                 max_steps=max_steps,
+                batch=batch,
             )
             return np.concatenate(
                 [np.asarray(p, dtype=np.int64) for p in parts]
@@ -271,6 +281,7 @@ def recovery_times_balls(
             max_steps,
             checkpointer=checkpointer,
             resume=resume_state["loop"] if resume_state is not None else None,
+            batch=batch,
         )
     if engine != "scalar":
         raise ValueError(f"engine must be 'scalar' or 'vectorized', got {engine!r}")

@@ -58,6 +58,8 @@ def _campaign_meta(config: dict) -> dict:
         "seed": seed if seed is None or isinstance(seed, int) else str(seed),
         "steps_total": config["max_steps"],
         "save_every": int(config.get("save_every", 0)),
+        # Older checkpoints predate the batched kernels: default 1.
+        "batch": int(config.get("batch", 1)),
     }
 
 
@@ -342,6 +344,7 @@ def run_checkpointed_campaign(
                         resume_state=resume_state,
                         fleet_ckpt=fleet,
                         restart_lost=int(config.get("restart_lost", 0)),
+                        batch=int(config.get("batch", 1)),
                     )
             except CheckpointInterrupt as ci:
                 interrupted = ci.step

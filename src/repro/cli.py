@@ -206,6 +206,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--restart-lost", type=int, default=0, metavar="N",
                    help="pooled runs: survive up to N killed workers by "
                    "replaying their shards from the fleet checkpoint")
+    p.add_argument("--batch", type=int, default=1, metavar="T",
+                   help="vectorized engine: advance fleets T steps per "
+                   "Python-level call through the batched kernels "
+                   "(identical times/telemetry/checkpoints; default 1 = "
+                   "unbatched reference loop)")
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential engine fuzzing: batched-vs-unbatched bitwise, "
+        "scalar-vs-vectorized KS, replay (tests/fuzzkit harness)",
+    )
+    p.add_argument("--budget", type=int, default=50, metavar="N",
+                   help="sampled configurations in grid mode (default 50)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="grid seed: the config sample is a pure function "
+                   "of (seed, budget)")
+    p.add_argument("--config", default=None, metavar="JSON",
+                   help="replay one configuration (the JSON a failure "
+                   "report prints) instead of sampling a grid")
+    p.add_argument("--check",
+                   choices=("all", "batched", "artifact", "replay", "ks"),
+                   default="all",
+                   help="restrict to one differential check (default all)")
+    p.add_argument("--json", action="store_true",
+                   help="emit a machine-readable result document on stdout")
 
     p = sub.add_parser(
         "resume",
@@ -585,8 +610,21 @@ def _cmd_campaign(args) -> int:
         save_every=args.save_every,
         eps=args.eps,
         restart_lost=args.restart_lost,
+        batch=args.batch,
     )
     return _print_campaign_summary(summary)
+
+
+def _cmd_fuzz(args) -> int:
+    from repro.verify.differential import run_fuzz_cli
+
+    return run_fuzz_cli(
+        budget=args.budget,
+        seed=args.seed,
+        config_json=args.config,
+        check=args.check,
+        as_json=args.json,
+    )
 
 
 def _cmd_resume(args) -> int:
@@ -613,6 +651,7 @@ def _cmd_resume(args) -> int:
 
 def _cmd_engines(args) -> int:
     from repro.engine import ENGINES, engine_support, spec_entries
+    from repro.engine.registry import batched_kernel
     from repro.utils.tables import Table
 
     entries = spec_entries()
@@ -626,7 +665,7 @@ def _cmd_engines(args) -> int:
             return 1
         entries = {args.spec: entries[args.spec]}
     t = Table(
-        ["spec", "step", "shape"] + [e.name for e in ENGINES],
+        ["spec", "step", "shape"] + [e.name for e in ENGINES] + ["batched kernel"],
         title="registered process specs × execution engines",
     )
     for name, entry in entries.items():
@@ -634,12 +673,15 @@ def _cmd_engines(args) -> int:
         row = [name, spec.step.name, spec.describe()]
         for engine_name, (ok, why) in engine_support(spec).items():
             row.append("yes" if ok else f"no: {why}")
+        b_ok, how = batched_kernel(spec)
+        row.append(how if b_ok else "-")
         t.add_row(row)
     print(t.render())
     print(
         "\nyes = the engine executes the spec; no = rejected with the "
         "reason shown.\nscalar is the reference path (always available); "
-        "see docs/ENGINES.md."
+        "see docs/ENGINES.md.\nbatched kernel = the run_batched fast "
+        "path a vectorizable spec takes (bitwise equal to run)."
     )
     return 0
 
@@ -833,6 +875,7 @@ _COMMANDS = {
     "static": _cmd_static,
     "engines": _cmd_engines,
     "campaign": _cmd_campaign,
+    "fuzz": _cmd_fuzz,
     "resume": _cmd_resume,
     "bench": _cmd_bench,
     "obs": _cmd_obs,

@@ -40,6 +40,7 @@ __all__ = [
     "registered_specs",
     "spec_entries",
     "engine_support",
+    "batched_kernel",
     "get_engine",
     "engine_for",
 ]
@@ -84,6 +85,27 @@ def registered_specs() -> dict[str, ProcessSpec]:
 def engine_support(spec: ProcessSpec) -> dict[str, tuple[bool, str]]:
     """Capability matrix row: engine name → (supported, reason)."""
     return {engine.name: engine.supports(spec) for engine in ENGINES}
+
+
+def batched_kernel(spec: ProcessSpec) -> tuple[bool, str]:
+    """Which ``run_batched`` fast path *spec* takes (``repro engines``).
+
+    Returns ``(vectorizable, how)``.  Every vectorizable spec accepts
+    ``run_batched`` (the results are bitwise those of ``run``), but the
+    kernel differs by step shape: closed/open sequential specs advance
+    on one pre-drawn RNG slab with fused ⊕/⊖ passes, while synchronous
+    (RBB) specs keep their per-step scatter draw — its size Σ s_r is
+    state-dependent, so only the Python dispatch is batched.  For a
+    rejected spec *how* is the vectorized engine's reason.
+    """
+    ok, why = VectorizedEngine.supports(spec)
+    if not ok:
+        return False, why
+    if spec.step.synchronous:
+        return True, "per-step scatter (state-dependent draw size)"
+    if spec.kind == "closed":
+        return True, "fused slab (pre-drawn RNG, fused ⊕/⊖)"
+    return True, "open slab (pre-drawn RNG, per-step kernel)"
 
 
 def get_engine(name: str):

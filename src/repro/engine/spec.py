@@ -183,6 +183,21 @@ class RemovalLaw(ABC):
         """
         raise NotImplementedError(f"{self.name} has no vectorized quantile")
 
+    def quantile_batch_into(
+        self, V: np.ndarray, u: np.ndarray, csum: np.ndarray, buf: np.ndarray
+    ) -> np.ndarray:
+        """Allocation-free ``quantile_batch`` for the batched hot loop.
+
+        *csum* is an (R, n) integer scratch (wide enough to hold a row
+        cumsum) and *buf* an (R, n) bool scratch, both owned by the
+        caller and reused across steps.  Must return exactly the indices
+        of :meth:`quantile_batch` — the differential harness pins the
+        batched path to the unbatched one bitwise, so implementations
+        may only change *where* intermediates live, never their values.
+        The base class falls back to the allocating path.
+        """
+        return self.quantile_batch(V, u)
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
 
@@ -206,6 +221,22 @@ class BallRemoval(RemovalLaw):
         csum = np.cumsum(V, axis=1)
         return (csum <= targets[:, None]).sum(axis=1)
 
+    def quantile_batch_into(
+        self, V: np.ndarray, u: np.ndarray, csum: np.ndarray, buf: np.ndarray
+    ) -> np.ndarray:
+        # Same inversion with the cumsum landing in caller scratch; m is
+        # read off the cumsum's last column instead of a second O(R·n)
+        # sum pass, and the comparison-count #{csum <= target} becomes a
+        # per-row binary search on the (ascending) cumsum — exact
+        # integer comparisons, so bitwise the quantile_batch indices.
+        np.cumsum(V, axis=1, dtype=csum.dtype, out=csum)
+        m = csum[:, -1]
+        targets = np.minimum((u * m).astype(np.int64), m - 1)
+        out = np.empty(len(targets), dtype=np.int64)
+        for r in range(len(targets)):
+            out[r] = np.searchsorted(csum[r], targets[r], side="right")
+        return out
+
 
 class BinRemoval(RemovalLaw):
     """ℬ(v): remove from a uniform nonempty bin — Pr[i] = 1/s, i < s (Def 3.3)."""
@@ -221,6 +252,17 @@ class BinRemoval(RemovalLaw):
     def quantile_batch(self, V: np.ndarray, u: np.ndarray) -> np.ndarray:
         # Nonempty bins are exactly indices 0..s-1 in normalized rows.
         s = (V > 0).sum(axis=1)
+        return np.minimum((u * s).astype(np.int64), s - 1)
+
+    def quantile_batch_into(
+        self, V: np.ndarray, u: np.ndarray, csum: np.ndarray, buf: np.ndarray
+    ) -> np.ndarray:
+        # Rows are descending, so s = #{> 0} is a per-row binary search
+        # on the reversed view — no O(R·n) mask pass, no cumsum.
+        n = V.shape[1]
+        s = np.empty(V.shape[0], dtype=np.int64)
+        for r in range(V.shape[0]):
+            s[r] = n - np.searchsorted(V[r, ::-1], 0, side="right")
         return np.minimum((u * s).astype(np.int64), s - 1)
 
 

@@ -57,6 +57,23 @@ from repro.utils.validation import check_positive_int
 __all__ = ["VectorizedProcess", "VectorizedEngine"]
 
 
+def _counts_desc(V: np.ndarray, vals: np.ndarray, side: str) -> np.ndarray:
+    """Per-row ``#{j : V[r, j] >= vals[r]}`` (``'left'``) or ``> `` (``'right'``).
+
+    Rows of *V* are descending (the engine invariant), so each count is
+    a binary search on the reversed-ascending view instead of an O(n)
+    comparison scan: for ascending ``a``, ``searchsorted(a, x, 'left')``
+    is ``#{a < x}`` and ``'right'`` is ``#{a <= x}`` — the complements
+    are exactly the Fact 3.2 run-boundary counts.  Integer comparisons,
+    so the result is bitwise identical to the scan it replaces.
+    """
+    n = V.shape[1]
+    out = np.empty(V.shape[0], dtype=np.int64)
+    for r in range(V.shape[0]):
+        out[r] = n - np.searchsorted(V[r, ::-1], vals[r], side=side)
+    return out
+
+
 class VectorizedProcess:
     """R independent replicas of a spec, stepped as one (R, n) matrix."""
 
@@ -233,13 +250,21 @@ class VectorizedProcess:
                 self._increment(sel, target[sel])
                 self.relocations += int(sel.size)
 
-    def _step_open(self) -> None:
-        rng = self._rng
+    def _step_open(self, u: np.ndarray | None = None) -> None:
         # Fair coin per replica; removal on the empty state and
         # insertion at the cap are row-wise no-ops (§7 semantics).
-        coin = rng.random(self._R) < 0.5
-        u_rm = rng.random(self._R)
-        u_in = rng.random(self._R)
+        # *u* is an optional pre-drawn (3, R) uniform slab — the batched
+        # path draws the whole segment's stream in one RNG call, which
+        # is bitwise identical to the three sequential draws below.
+        if u is None:
+            rng = self._rng
+            coin = rng.random(self._R) < 0.5
+            u_rm = rng.random(self._R)
+            u_in = rng.random(self._R)
+        else:
+            coin = u[0] < 0.5
+            u_rm = u[1]
+            u_in = u[2]
         counts = self._V.sum(axis=1)
         rm_rows = np.nonzero(coin & (counts > 0))[0]
         if rm_rows.size:
@@ -252,6 +277,111 @@ class VectorizedProcess:
         if ins_rows.size:
             idx = self._insertion_indices(u_in[ins_rows])
             self._increment(ins_rows, idx)
+
+    # -- batched multi-step kernels --------------------------------------------
+
+    def _ensure_batch_ready(self) -> None:
+        """One-time setup for the batched fast path.
+
+        Narrows the load matrix to int32 when the ball-count bound
+        proves every load (and every row cumsum) fits — halving the
+        memory traffic of the comparison passes that dominate at paper
+        scale — and allocates the per-fleet scratch buffers the fused
+        kernels write into, so the hot loop allocates no (R, n)
+        intermediates at all.  Loads are identical integers in either
+        width, so downstream arithmetic (always at least int64/float64)
+        is value-identical; :meth:`state_dict` re-canonicalizes to
+        int64, keeping checkpoints interchangeable with the unbatched
+        path.
+        """
+        if getattr(self, "_batch_ready", False):
+            return
+        if self.spec.kind == "closed":
+            bound = self._m
+        else:
+            bound = self.spec.max_balls  # None = unbounded: stay int64
+        if bound is not None and bound < np.iinfo(np.int32).max:
+            self._V = np.ascontiguousarray(self._V, dtype=np.int32)
+        self._csum = np.empty((self._R, self._n), dtype=self._V.dtype)
+        self._bool_buf = np.empty((self._R, self._n), dtype=bool)
+        self._batch_ready = True
+
+    def _advance(self, T: int, hist: np.ndarray | None = None) -> None:
+        """Advance the fleet T phases with no per-step Python dispatch.
+
+        Bitwise identical to T calls of :meth:`step`: the sequential
+        shapes pre-draw the segment's whole uniform stream in one RNG
+        call (row-for-row the same doubles the per-step draws produce)
+        and run the fused kernels; the synchronous shape keeps its
+        per-step draw (the scatter size Σ s_r is state-dependent) but
+        still skips the dispatch tower.  When *hist* is given (shape
+        (T, R)), row i receives the per-replica max load after phase i
+        — what the batched ``recovery_times`` scans for hitting times.
+        """
+        if self._q is not None:
+            for i in range(T):
+                self._step_synchronous()
+                self._t += 1
+                if hist is not None:
+                    hist[i] = self._V[:, 0]
+        elif self.spec.kind == "closed":
+            self._advance_closed(T, hist)
+        else:
+            self._advance_open(T, hist)
+
+    def _advance_closed(self, T: int, hist: np.ndarray | None = None) -> None:
+        """T fused closed phases: one slab draw, zero (R, n) allocations.
+
+        Per step the removal inversion lands in the ``_csum``/
+        ``_bool_buf`` scratch (:meth:`RemovalLaw.quantile_batch_into`)
+        and both Fact 3.2 counting comparisons exploit the descending
+        row invariant: ``#{≥ x}`` / ``#{> x}`` are per-row binary
+        searches (:func:`_counts_desc`), not O(n) scans — together with
+        dropping the unbatched step's five fresh (R, n) intermediates,
+        this is where the batched throughput comes from.
+        """
+        p = self.spec.p_relocate
+        k = 4 if p > 0 else 2
+        U = self._rng.random((T, k, self._R))
+        V = self._V
+        rows = self._rows
+        law = self._law
+        csum = self._csum
+        buf = self._bool_buf
+        n = self._n
+        rule = self.rule
+        for i in range(T):
+            u = U[i]
+            rm = law.quantile_batch_into(V, u[0], csum, buf)
+            vals = V[rows, rm]
+            pos = _counts_desc(V, vals, "left")  # #{>= val}
+            pos -= 1
+            V[rows, pos] -= 1
+            ins = rule.insertion_quantile_batch(n, u[1])
+            vals = V[rows, ins]
+            pos = _counts_desc(V, vals, "right")  # #{> val}
+            V[rows, pos] += 1
+            if p > 0:
+                coin = u[2] < p
+                target = rule.insertion_quantile_batch(n, u[3])
+                gap_ok = (V[rows, 0] - V[rows, target]) >= 2
+                sel = np.nonzero(coin & gap_ok)[0]
+                if sel.size:
+                    self._decrement(sel, np.zeros(sel.size, dtype=np.int64))
+                    self._increment(sel, target[sel])
+                    self.relocations += int(sel.size)
+            self._t += 1
+            if hist is not None:
+                hist[i] = V[:, 0]
+
+    def _advance_open(self, T: int, hist: np.ndarray | None = None) -> None:
+        """T open phases on one pre-drawn (T, 3, R) uniform slab."""
+        U = self._rng.random((T, 3, self._R))
+        for i in range(T):
+            self._step_open(U[i])
+            self._t += 1
+            if hist is not None:
+                hist[i] = self._V[:, 0]
 
     def _obs_account(self, steps: int) -> None:
         """Bulk-count *steps* fleet phases (only called when obs is enabled)."""
@@ -302,7 +432,9 @@ class VectorizedProcess:
         fleet probe exists — its estimator/monitor state.
         """
         state: dict = {
-            "V": self._V.copy(),
+            # Canonical int64 regardless of the live width, so batched
+            # and unbatched runs write interchangeable checkpoints.
+            "V": self._V.astype(np.int64, copy=True),
             "rng": self._rng.bit_generator.state,
             "t": self._t,
             "relocations": self.relocations,
@@ -356,6 +488,46 @@ class VectorizedProcess:
         self._obs_account(steps)
         return self
 
+    def run_batched(self, steps: int, *, batch: int = 128) -> "VectorizedProcess":
+        """Advance all replicas *steps* phases, *batch* per Python call.
+
+        The fast path of the raw-speed roadmap item: identical fleet
+        trajectory to :meth:`run` — same RNG stream, same probe
+        emissions — but the per-step Python dispatch collapses into one
+        :meth:`_advance` call per segment, with the segment's uniforms
+        pre-drawn in a single RNG call and the ⊕/⊖ passes fused into
+        reusable scratch (no (R, n) intermediates).  Segments are cut at
+        probe-decimation boundaries (:func:`repro.obs.probes.probe_cut`)
+        so observed runs emit the exact decimated sequence the unbatched
+        loop does.  The differential harness (``tests/test_engine_fuzz``)
+        pins ``run_batched`` to ``run`` bitwise per replica.
+        """
+        if steps < 0:
+            raise ValueError(f"steps must be >= 0, got {steps}")
+        batch = check_positive_int("batch", batch)
+        self._ensure_batch_ready()
+        if not obs.enabled():
+            left = steps
+            while left > 0:
+                T = min(batch, left)
+                self._advance(T)
+                left -= T
+            return self
+        from repro.obs.probes import probe_cut
+
+        with obs.span("batch/run_batched", steps=steps, replicas=self._R,
+                      spec=self.spec.name, batch=batch):
+            every = obs.probe_interval()
+            probe = self._get_probe() if every > 0 else None
+            end = self._t + steps
+            while self._t < end:
+                cut = probe_cut(self._t, min(self._t + batch, end), every)
+                self._advance(cut - self._t)
+                if probe is not None and self._t % every == 0:
+                    probe.observe(self._t, self._V)
+        self._obs_account(steps)
+        return self
+
     def recovery_times(
         self,
         target_max_load: int,
@@ -363,6 +535,7 @@ class VectorizedProcess:
         *,
         checkpointer=None,
         resume: dict | None = None,
+        batch: int = 1,
     ) -> np.ndarray:
         """Per-replica first time max load ≤ target (−1 where cap hit).
 
@@ -379,6 +552,20 @@ class VectorizedProcess:
         continue the identical trajectory.  Metrics stay deterministic
         because this loop accounts once at the end with the absolute
         ``executed`` count.
+
+        *batch* > 1 routes through the batched kernels: the fleet
+        advances in segments cut at every probe and ``save_every``
+        boundary, and the per-step hitting-time scan runs over the
+        segment's max-load history — artifact-for-artifact identical
+        to ``batch=1`` (same ``times``, same ``timeseries.jsonl``
+        bytes, same committed checkpoints).  The one visible
+        difference is crash granularity: save *opportunities* (where
+        ``REPRO_CRASH_AT=step:K`` may fire) exist only at segment
+        boundaries, so an injected kill lands at the first boundary
+        ≥ K instead of exactly K.  After whole-fleet recovery
+        mid-segment the matrix and RNG sit a few phases past the
+        hitting step; that overshoot is unobservable — no probe,
+        record or checkpoint is emitted past it.
         """
         observing = obs.enabled()
         every = obs.probe_interval() if observing else 0
@@ -394,6 +581,12 @@ class VectorizedProcess:
             times[done] = 0
             executed = 0
             k0 = 0
+        if batch > 1:
+            return self._recovery_times_batched(
+                target_max_load, max_steps, batch, times=times, done=done,
+                executed=executed, k0=k0, observing=observing, every=every,
+                probe=probe, checkpointer=checkpointer,
+            )
         for k in range(k0 + 1, max_steps + 1):
             if done.all():
                 break
@@ -422,6 +615,96 @@ class VectorizedProcess:
                         },
                     },
                 )
+        if observing:
+            self._obs_account(executed)
+            obs.record_sample(
+                "batch/recovered_fraction", executed, float(done.mean())
+            )
+        return times
+
+    def _recovery_times_batched(
+        self,
+        target_max_load: int,
+        max_steps: int,
+        batch: int,
+        *,
+        times: np.ndarray,
+        done: np.ndarray,
+        executed: int,
+        k0: int,
+        observing: bool,
+        every: int,
+        probe,
+        checkpointer,
+    ) -> np.ndarray:
+        """The ``batch > 1`` body of :meth:`recovery_times`.
+
+        Segment ends are the only steps where the full matrix is
+        needed (probe snapshots, checkpoint payloads), so segments are
+        cut there; everything per-step — hitting times, power-of-two
+        records — replays from the (T, R) max-load history, in the
+        unbatched loop's exact emission order.
+        """
+        self._ensure_batch_ready()
+        save_every = (
+            int(getattr(checkpointer, "save_every", 0) or 0)
+            if checkpointer is not None else 0
+        )
+        hist = np.empty((batch, self._R), dtype=self._V.dtype)
+        k = k0
+        while k < max_steps and not done.all():
+            end = min(k + batch, max_steps)
+            if every > 0:
+                end = min(end, k + every - k % every)
+            if save_every > 0:
+                end = min(end, k + save_every - k % save_every)
+            T = end - k
+            self._advance(T, hist=hist[:T])
+            completed_at = None
+            for i in range(T):
+                kk = k + i + 1
+                newly = (~done) & (hist[i] <= target_max_load)
+                if newly.any():
+                    times[newly] = kk
+                    done |= newly
+                if probe is not None and kk % every == 0:
+                    # Only the segment end can be a probe boundary (by
+                    # the cut above), where the live matrix *is* the
+                    # step-kk state.
+                    probe.observe(self._t, self._V)
+                if observing and (kk & (kk - 1)) == 0:
+                    obs.record_sample(
+                        "batch/recovered_fraction", kk, float(done.mean())
+                    )
+                    obs.record_sample(
+                        "batch/max_load_mean", kk, float(hist[i].mean())
+                    )
+                if done.all():
+                    completed_at = kk
+                    break
+            executed = end if completed_at is None else completed_at
+            k = end
+            if checkpointer is not None and (
+                completed_at is None or completed_at == end
+            ):
+                # Mid-segment completion skips the boundary offer: the
+                # unbatched loop never reaches it either, and the live
+                # state past the hitting step must not be snapshotted.
+                snap = executed
+                checkpointer.maybe_save(
+                    snap,
+                    lambda: {
+                        "engine": self.state_dict(),
+                        "loop": {
+                            "k": snap,
+                            "executed": snap,
+                            "times": times.copy(),
+                            "done": done.copy(),
+                        },
+                    },
+                )
+            if completed_at is not None:
+                break
         if observing:
             self._obs_account(executed)
             obs.record_sample(

@@ -64,6 +64,7 @@ def run_campaign(
     save_every: int = 0,
     eps: float = 0.25,
     restart_lost: int = 0,
+    batch: int = 1,
 ) -> dict:
     """Run one observed, parallel crash-recovery campaign.
 
@@ -90,6 +91,10 @@ def run_campaign(
     ``'rbb_walk'`` (``repro campaign --spec rbb_…``); the placement
     rule then follows :func:`~repro.analysis.recovery_measure.campaign_rule`
     and *d* only matters for the two-choice flavors.
+
+    *batch* > 1 (``--batch``, vectorized engine only) advances each
+    fleet through the batched multi-step kernels — same times, same
+    telemetry bytes, same checkpoints; just fewer Python-level steps.
     """
     if scenario not in CAMPAIGN_SCENARIOS:
         raise ValueError(
@@ -122,6 +127,7 @@ def run_campaign(
             "save_every": int(save_every),
             "eps": float(eps),
             "restart_lost": int(restart_lost),
+            "batch": int(batch),
         }
         return run_checkpointed_campaign(run_dir, config=config)
     rule = campaign_rule(scenario, d)
@@ -138,6 +144,7 @@ def run_campaign(
         "target_max_load": int(target),
         "seed": seed if seed is None or isinstance(seed, int) else str(seed),
         "steps_total": max_steps,
+        "batch": int(batch),
     }
     from repro.analysis.recovery_measure import recovery_times_balls
     from repro.obs.recorder import observe_run
@@ -157,6 +164,7 @@ def run_campaign(
             seed=seed,
             processes=processes,
             heartbeat_s=heartbeat_s,
+            batch=batch,
         )
     wall_s = time.perf_counter() - t0
     arr = np.asarray(times, dtype=np.int64)

@@ -270,7 +270,14 @@ class BenchTimer:
 
 @dataclass
 class BenchSpec:
-    """One discovered benchmark function (or a reason it cannot run)."""
+    """One discovered benchmark function (or a reason it cannot run).
+
+    *skip_reason* marks benches the runner legitimately cannot drive
+    (unsupported fixtures); *error* marks a broken bench module — an
+    exception raised at import — which must surface as a failure, not
+    a skip (a typo in a bench file would otherwise silently drop every
+    bench in it from the perf trajectory).
+    """
 
     bench_id: str  # "bench_primitives::test_bench_fact32_update"
     file: str  # "bench_primitives.py"
@@ -278,6 +285,8 @@ class BenchSpec:
     fn: Callable | None = None
     params: tuple[str, ...] = ()
     skip_reason: str | None = None
+    error: str | None = None
+    traceback: str | None = None
 
 
 def _import_bench_module(path: str, module_name: str):
@@ -314,9 +323,12 @@ def discover(bench_dir: str = "benchmarks", pattern: str | None = None) -> list[
             try:
                 mod = _import_bench_module(path, f"repro_bench_{stem}")
             except Exception as exc:
+                import traceback as tb_mod
+
                 specs.append(BenchSpec(
                     bench_id=f"{stem}", file=fname, name="<module>",
-                    skip_reason=f"import error: {exc!r}",
+                    error=f"import error: {type(exc).__name__}: {exc}",
+                    traceback=tb_mod.format_exc(),
                 ))
                 continue
             for name in sorted(vars(mod)):
@@ -504,7 +516,7 @@ def run_benchmarks(
     the profiler taxes every function call).
     """
     specs = discover(bench_dir, pattern)
-    runnable = [s for s in specs if s.skip_reason is None]
+    runnable = [s for s in specs if s.skip_reason is None and s.error is None]
     ts = time.strftime("%Y%m%d-%H%M%S")
     rev = git_revision()
     run_dir = run_dir or os.path.join("runs", f"bench-{ts}")
@@ -519,6 +531,19 @@ def run_benchmarks(
     n_err = 0
     try:
         for spec in specs:
+            if spec.error is not None:
+                # A broken bench module is a failure of the perf suite,
+                # not a skip: report it loudly and fail the run status.
+                n_err += 1
+                lines.emit(f"ERROR {spec.bench_id}: {spec.error}")
+                if spec.traceback:
+                    lines.emit(spec.traceback.rstrip())
+                records.append({
+                    "id": spec.bench_id, "file": spec.file, "name": spec.name,
+                    "status": "error", "error": spec.error,
+                    "traceback": spec.traceback,
+                })
+                continue
             if spec.skip_reason is not None:
                 records.append({
                     "id": spec.bench_id, "file": spec.file, "name": spec.name,

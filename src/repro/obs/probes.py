@@ -44,6 +44,7 @@ __all__ = [
     "ChainProbe",
     "FleetProbe",
     "DistributionProbe",
+    "probe_cut",
     "max_load_recovery_monitor",
     "rbb_recovery_monitor",
     "rbb_recovery_bound",
@@ -64,6 +65,21 @@ def recovery_target(n: int, m: int) -> int:
     if n < 1 or m < 0:
         raise ValueError(f"need n >= 1 and m >= 0, got n={n}, m={m}")
     return int(math.ceil(m / n)) + max(1, math.ceil(math.log2(max(2, n))))
+
+
+def probe_cut(step: int, limit: int, every: int) -> int:
+    """Largest segment end ≤ *limit* that does not run past a probe boundary.
+
+    Batched engine loops (``VectorizedProcess.run_batched`` and the
+    batched ``recovery_times``) advance many phases per Python call;
+    cutting each segment at the next decimation boundary — the next
+    step with ``step % every == 0`` — keeps probe emissions bitwise
+    identical to stepping one phase at a time.  With probes off
+    (*every* ≤ 0) the limit stands.
+    """
+    if every <= 0:
+        return limit
+    return min(limit, step + every - step % every)
 
 
 class ThresholdMonitor:

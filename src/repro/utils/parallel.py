@@ -225,6 +225,13 @@ def parallel_replica_map(
     campaigns only); *chunksize* is accepted for backward compatibility
     and ignored — items are split into ``processes`` contiguous shards,
     one telemetry lane each.
+
+    Extra ``**kwargs`` reach every call verbatim — this is how the
+    campaign stack threads per-shard execution knobs (e.g. the
+    vectorized engine's ``batch`` segment length) through the pool
+    without the sharding or checkpoint machinery knowing about them:
+    sharding is by replica count only, so a knob that leaves each
+    shard's trajectory unchanged leaves the pooled artifact unchanged.
     """
     del chunksize  # sharding replaced chunked Pool.map in PR 7
     items = list(items)

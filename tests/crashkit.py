@@ -66,6 +66,7 @@ def campaign_argv(
     save_every: int = 10,
     eps: float | None = None,
     restart_lost: int = 0,
+    batch: int = 1,
 ) -> list[str]:
     """The canonical campaign command line of one crash-test scenario.
 
@@ -87,6 +88,11 @@ def campaign_argv(
         argv += ["--eps", str(eps)]
     if restart_lost:
         argv += ["--restart-lost", str(restart_lost)]
+    if batch > 1:
+        # Vectorized batched kernels: save *opportunities* (and hence
+        # ``step:K`` kill sites) exist only at segment boundaries, so a
+        # scheduled crash lands at the first boundary >= K.
+        argv += ["--batch", str(batch)]
     return argv
 
 

@@ -102,11 +102,17 @@ class TestDiscovery:
         specs = discover(_write_bench_dir(tmp_path), "pedantic")
         assert [s.name for s in specs] == ["test_bench_pedantic"]
 
-    def test_import_error_becomes_skip(self, tmp_path):
+    def test_import_error_becomes_error_with_traceback(self, tmp_path):
+        """A bench module raising at import is a failure, not a skip —
+        otherwise a typo silently drops every bench in the file."""
         d = _write_bench_dir(tmp_path, src="import no_such_module_xyz\n")
         specs = discover(d)
         assert len(specs) == 1
-        assert "import error" in specs[0].skip_reason
+        assert specs[0].skip_reason is None
+        assert "import error" in specs[0].error
+        assert "ModuleNotFoundError" in specs[0].error
+        assert "no_such_module_xyz" in specs[0].traceback
+        assert "Traceback" in specs[0].traceback
 
     def test_missing_dir_raises(self, tmp_path):
         with pytest.raises(FileNotFoundError):
@@ -146,6 +152,33 @@ class TestRunner:
         assert "bench/bench_synthetic::test_bench_fast" in span_names
         assert "resource/rss_mb" in art.series
         assert art.meta["kind"] == "bench"
+
+    def test_broken_bench_module_fails_the_run(self, tmp_path, capsys):
+        """An import-time crash in a bench module surfaces as an error
+        record (with traceback) and a non-zero ``repro bench run``."""
+        d = _write_bench_dir(tmp_path)
+        (tmp_path / "benchmarks" / "bench_broken.py").write_text(
+            "raise ValueError('broken at import')\n"
+        )
+        _, payload = run_benchmarks(
+            bench_dir=d, quick=True, progress=False,
+            out_dir=str(tmp_path / "out"), run_dir=str(tmp_path / "run"),
+        )
+        validate_bench_payload(payload)
+        by_id = {b["id"]: b for b in payload["benches"]}
+        assert by_id["bench_broken"]["status"] == "error"
+        assert "broken at import" in by_id["bench_broken"]["error"]
+        assert "Traceback" in by_id["bench_broken"]["traceback"]
+        # The healthy module still ran.
+        assert by_id["bench_synthetic::test_bench_fast"]["status"] == "ok"
+        # And the CLI reports failure.
+        rc = main([
+            "bench", "run", "--bench-dir", d, "--quick", "--no-progress",
+            "--out-dir", str(tmp_path / "out2"),
+            "--run-dir", str(tmp_path / "run2"),
+        ])
+        assert rc == 1
+        assert "bench_broken" in capsys.readouterr().err
 
     def test_bench_error_is_contained(self, tmp_path):
         d = _write_bench_dir(

@@ -499,6 +499,45 @@ def test_grand_coupling_rejects_synchronous_specs():
 
 
 # ---------------------------------------------------------------------------
+# Batched kernels: buffer-reusing removal quantiles and fuzzkit parity
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("law", LAWS, ids=[law.name for law in LAWS])
+def test_quantile_batch_into_matches_quantile_batch(law):
+    """The allocation-free kernel variant equals the allocating one."""
+    rng = np.random.default_rng(23)
+    V = np.array([LoadVector.random(10, 7, rng).loads for _ in range(25)])
+    u = rng.random(V.shape[0])
+    csum = np.empty_like(V)
+    buf = np.empty(V.shape, dtype=bool)
+    np.testing.assert_array_equal(
+        law.quantile_batch_into(V, u, csum, buf), law.quantile_batch(V, u)
+    )
+    # int32 fleets (the narrowed batched layout) agree too.
+    V32 = V.astype(np.int32)
+    np.testing.assert_array_equal(
+        law.quantile_batch_into(V32, u, np.empty_like(V32), buf),
+        law.quantile_batch(V, u),
+    )
+
+
+def test_batched_parity_via_fuzzkit():
+    """Engine-parity view of the differential harness: one pinned config
+    per spec kind through the bitwise batched/replay checks."""
+    from tests import fuzzkit
+
+    for spec, tweak in (
+        ("scenario_a", {}),            # closed, ball removal
+        ("open_bin", {"m": 5}),        # open, bin removal
+        ("relocation", {}),            # closed + relocation coin
+        ("rbb_uniform", {"steps": 40}),  # synchronous scatter
+    ):
+        cfg = fuzzkit.pinned_config(spec, **tweak)
+        fuzzkit.assert_passes(cfg, "batched")
+        fuzzkit.assert_passes(cfg, "replay")
+
+
+# ---------------------------------------------------------------------------
 # Deprecation shim
 # ---------------------------------------------------------------------------
 
